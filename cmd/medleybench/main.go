@@ -1,0 +1,161 @@
+// Command medleybench regenerates the microbenchmark figures of the Medley
+// paper (PPoPP 2023): hash-table throughput (Figure 7), skiplist throughput
+// (Figure 8), and skiplist latency (Figure 10).
+//
+// Examples:
+//
+//	medleybench -figure 7                 # hash tables, all three ratios
+//	medleybench -figure 8 -ratio 2:1:1    # skiplists, one ratio
+//	medleybench -figure 10                # latency: Original / TxOff / TxOn
+//	medleybench -figure 7 -dur 5s -scale 1.0 -threads 1,2,4,8,16
+//
+// Scale 1.0 reproduces the paper's 1M-key / 0.5M-preload configuration;
+// the default 0.1 keeps runs laptop-sized. Shapes, not absolute numbers,
+// are the reproduction target (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"medley/internal/bench"
+	"medley/internal/pnvm"
+)
+
+func main() {
+	figure := flag.String("figure", "7", "7 | 8 | 10 (also 10a/10b/10c)")
+	ratio := flag.String("ratio", "", "get:insert:remove ratio (default: all of 0:1:1, 2:1:1, 18:1:1)")
+	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default: host sweep)")
+	dur := flag.Duration("dur", 2*time.Second, "measurement duration per point")
+	scale := flag.Float64("scale", 0.1, "keyspace scale (1.0 = paper's 1M keys)")
+	epochLen := flag.Duration("epoch", 10*time.Millisecond, "txMontage epoch length")
+	flag.Parse()
+
+	ratios := [][3]int{{0, 1, 1}, {2, 1, 1}, {18, 1, 1}}
+	if *ratio != "" {
+		parts := strings.Split(*ratio, ":")
+		if len(parts) != 3 {
+			fmt.Fprintln(os.Stderr, "bad -ratio; want g:i:r")
+			os.Exit(2)
+		}
+		var r [3]int
+		for i, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bad -ratio:", err)
+				os.Exit(2)
+			}
+			r[i] = v
+		}
+		ratios = [][3]int{r}
+	}
+
+	threads := bench.DefaultThreadSweep()
+	if *threadsFlag != "" {
+		threads = nil
+		for _, p := range strings.Split(*threadsFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bad -threads:", err)
+				os.Exit(2)
+			}
+			threads = append(threads, v)
+		}
+	}
+
+	lat := pnvm.DefaultLatencies()
+	fmt.Printf("# host: GOMAXPROCS=%d; scale=%.2f; dur=%v\n", runtime.GOMAXPROCS(0), *scale, *dur)
+
+	switch *figure {
+	case "7", "8":
+		for _, r := range ratios {
+			wl := bench.PaperWorkload(r[0], r[1], r[2], *scale)
+			var mk []func() bench.System
+			if *figure == "7" {
+				mk = []func() bench.System{
+					func() bench.System { return bench.NewMedleyHash(wl) },
+					func() bench.System { return bench.NewTxMontageHash(wl, lat, *epochLen) },
+					func() bench.System { return bench.NewOneFileHash(wl) },
+					func() bench.System { return bench.NewPOneFileHash(wl, lat) },
+				}
+				fmt.Printf("\n## Figure 7 (hash tables), get:insert:remove = %s\n", wl.Ratio())
+			} else {
+				mk = []func() bench.System{
+					func() bench.System { return bench.NewMedleySkip(wl) },
+					func() bench.System { return bench.NewTxMontageSkip(wl, lat, *epochLen) },
+					func() bench.System { return bench.NewOneFileSkip(wl) },
+					func() bench.System { return bench.NewPOneFileSkip(wl, lat) },
+					func() bench.System { return bench.NewTDSLSkip(wl) },
+					func() bench.System { return bench.NewLFTTSkip(wl) },
+				}
+				fmt.Printf("\n## Figure 8 (skiplists), get:insert:remove = %s\n", wl.Ratio())
+			}
+			fmt.Printf("%-16s %8s %14s\n", "system", "threads", "txn/s")
+			for _, newSys := range mk {
+				for _, th := range threads {
+					sys := newSys()
+					res := bench.RunThroughput(sys, wl, th, *dur)
+					sys.Close()
+					fmt.Printf("%-16s %8d %14.0f\n", res.System, res.Threads, res.Throughput)
+				}
+			}
+		}
+	case "10", "10a", "10b", "10c":
+		runLatency(*figure, ratios, *scale, *dur, lat, *epochLen)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown -figure; want 7, 8, or 10")
+		os.Exit(2)
+	}
+}
+
+func runLatency(fig string, ratios [][3]int, scale float64, dur time.Duration, lat pnvm.Latencies, epochLen time.Duration) {
+	// The paper measures at 40 threads (half the hyperthreads); use half of
+	// GOMAXPROCS here.
+	th := runtime.GOMAXPROCS(0) / 2
+	if th < 1 {
+		th = 1
+	}
+	fmt.Printf("\n## Figure 10 (skiplist latency at %d threads, ns/txn)\n", th)
+	fmt.Printf("%-10s %-10s %-10s %12s\n", "panel", "mode", "ratio", "ns/txn")
+	for _, r := range ratios {
+		wl := bench.PaperWorkload(r[0], r[1], r[2], scale)
+		if fig == "10" || fig == "10a" {
+			// (a) DRAM: Original vs TxOff vs TxOn on the transient Medley list.
+			o := bench.NewOriginalSkip(wl)
+			res := bench.RunLatency(o, wl, bench.ModeOriginal, th, dur)
+			fmt.Printf("%-10s %-10s %-10s %12.0f\n", "10a", "Original", wl.Ratio(), res.NsPerTx)
+			o.Close()
+			for _, mode := range []bench.LatencyMode{bench.ModeTxOff, bench.ModeTxOn} {
+				sys := bench.NewMedleySkip(wl)
+				res := bench.RunLatency(sys, wl, mode, th, dur)
+				fmt.Printf("%-10s %-10s %-10s %12.0f\n", "10a", mode, wl.Ratio(), res.NsPerTx)
+				sys.Close()
+			}
+		}
+		if fig == "10" || fig == "10b" {
+			// (b) payloads on NVM, persistence off: montage maps with free
+			// write-back (epoch system idle) but NVM store latency charged.
+			latNoPersist := pnvm.Latencies{Write: lat.Write}
+			for _, mode := range []bench.LatencyMode{bench.ModeTxOff, bench.ModeTxOn} {
+				sys := bench.NewTxMontageSkip(wl, latNoPersist, time.Hour)
+				res := bench.RunLatency(sys, wl, mode, th, dur)
+				fmt.Printf("%-10s %-10s %-10s %12.0f\n", "10b", mode, wl.Ratio(), res.NsPerTx)
+				sys.Close()
+			}
+		}
+		if fig == "10" || fig == "10c" {
+			// (c) full persistence on.
+			for _, mode := range []bench.LatencyMode{bench.ModeTxOff, bench.ModeTxOn} {
+				sys := bench.NewTxMontageSkip(wl, lat, epochLen)
+				res := bench.RunLatency(sys, wl, mode, th, dur)
+				fmt.Printf("%-10s %-10s %-10s %12.0f\n", "10c", mode, wl.Ratio(), res.NsPerTx)
+				sys.Close()
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command recoverydemo walks through txMontage's failure-atomic
+// persistence: it runs transactions over two persistent maps, syncs an
+// epoch boundary, keeps running, crashes the simulated NVM device, recovers
+// — and shows that the recovered state is a transaction-consistent cut at
+// an epoch boundary (buffered durable strict serializability).
+package main
+
+import (
+	"fmt"
+
+	"medley/internal/core"
+	"medley/internal/montage"
+	"medley/internal/pnvm"
+)
+
+func main() {
+	dev := pnvm.NewDefault()
+	es := montage.NewEpochSys(dev)
+	mgr := core.NewTxManager()
+	montage.Attach(mgr, es)
+
+	checking := montage.NewHashMap(es, montage.Uint64Codec(), 1024)
+	savings := montage.NewSkipMap(es, montage.Uint64Codec())
+	s := mgr.Session()
+
+	// Open 8 account pairs with a 1000/1000 split; every transfer keeps
+	// checking+savings == 2000 per account.
+	for a := uint64(0); a < 8; a++ {
+		_ = s.Run(func() error {
+			checking.Put(s, a, 1000)
+			savings.Put(s, a, 1000)
+			return nil
+		})
+	}
+	transfer := func(a uint64, amt uint64) {
+		_ = s.Run(func() error {
+			c, _ := checking.Get(s, a)
+			v, _ := savings.Get(s, a)
+			if c < amt {
+				return nil
+			}
+			checking.Put(s, a, c-amt)
+			savings.Put(s, a, v+amt)
+			return nil
+		})
+	}
+	for a := uint64(0); a < 8; a++ {
+		transfer(a, 100*(a+1))
+	}
+	es.Sync() // persist everything up to here
+	fmt.Println("synced: all transfers durable at epoch boundary", es.Current())
+
+	// More transfers that will NOT be durable (no sync before the crash).
+	for a := uint64(0); a < 8; a++ {
+		transfer(a, 50)
+	}
+	fmt.Println("ran 8 more transfers without sync; crashing device...")
+
+	dev.Crash()
+	recs := montage.LiveRecords(dev.Recover())
+	fmt.Printf("recovered %d live payloads\n", len(recs))
+
+	// Recovery cannot tell which map a payload belonged to by itself; real
+	// deployments tag payloads per structure. Here both maps share the key
+	// space with distinct value parities, so rebuild by key count and
+	// verify the invariant on totals.
+	es2 := montage.NewEpochSys(dev)
+	_ = es2
+	byKey := map[uint64][]uint64{}
+	for _, r := range recs {
+		byKey[r.Key] = append(byKey[r.Key], montage.Uint64Codec().Dec(r.Val))
+	}
+	ok := true
+	for a := uint64(0); a < 8; a++ {
+		vals := byKey[a]
+		if len(vals) != 2 {
+			fmt.Printf("account %v: expected 2 payloads, got %d — NOT transaction-consistent\n", a, len(vals))
+			ok = false
+			continue
+		}
+		if vals[0]+vals[1] != 2000 {
+			fmt.Printf("account %v: %v+%v != 2000 — split transaction recovered!\n", a, vals[0], vals[1])
+			ok = false
+			continue
+		}
+		fmt.Printf("account %v: checking+savings = %v+%v = 2000 ✓\n", a, vals[0], vals[1])
+	}
+	if ok {
+		fmt.Println("recovered state is a consistent epoch-boundary cut (BDSS holds)")
+	}
+}

@@ -1,0 +1,77 @@
+// Command tpccbench regenerates Figure 9 of the Medley paper: throughput of
+// the TPC-C newOrder + payment mix (1:1) over skiplist tables, comparing
+// Medley, txMontage, OneFile, and TDSL across a thread sweep. (LFTT cannot
+// run TPC-C: it supports only static transactions, as the paper notes.)
+//
+// Example:
+//
+//	tpccbench -dur 3s -warehouses 4 -threads 1,2,4,8,16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"medley/internal/bench"
+	"medley/internal/pnvm"
+	"medley/internal/tpcc"
+)
+
+func main() {
+	warehouses := flag.Int("warehouses", 2, "number of warehouses")
+	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default: host sweep)")
+	dur := flag.Duration("dur", 2*time.Second, "measurement duration per point")
+	epochLen := flag.Duration("epoch", 10*time.Millisecond, "txMontage epoch length")
+	flag.Parse()
+
+	threads := bench.DefaultThreadSweep()
+	if *threadsFlag != "" {
+		threads = nil
+		for _, p := range strings.Split(*threadsFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bad -threads:", err)
+				os.Exit(2)
+			}
+			threads = append(threads, v)
+		}
+	}
+
+	cfg := tpcc.DefaultConfig(*warehouses)
+	lat := pnvm.DefaultLatencies()
+	fmt.Printf("# host: GOMAXPROCS=%d; warehouses=%d; dur=%v\n", runtime.GOMAXPROCS(0), *warehouses, *dur)
+	fmt.Printf("\n## Figure 9 (TPC-C newOrder:payment 1:1 over skiplists)\n")
+	fmt.Printf("%-12s %8s %14s\n", "system", "threads", "txn/s")
+
+	type mkStore struct {
+		name string
+		mk   func() tpcc.Store
+	}
+	stores := []mkStore{
+		{"Medley", func() tpcc.Store { return tpcc.NewMedleyStore() }},
+		{"txMontage", func() tpcc.Store {
+			st := tpcc.NewTxMontageStore(lat)
+			st.EpochSys().Start(*epochLen)
+			return st
+		}},
+		{"OneFile", func() tpcc.Store { return tpcc.NewOneFileStore() }},
+		{"TDSL", func() tpcc.Store { return tpcc.NewTDSLStore() }},
+	}
+	for _, ms := range stores {
+		for _, th := range threads {
+			st := ms.mk()
+			tpcc.Load(st, cfg)
+			res := tpcc.Run(st, cfg, th, *dur)
+			if m, ok := st.(*tpcc.MedleyStore); ok && m.EpochSys() != nil {
+				m.EpochSys().Stop()
+			}
+			st.Close()
+			fmt.Printf("%-12s %8d %14.0f\n", res.System, res.Threads, res.Throughput)
+		}
+	}
+}

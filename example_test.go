@@ -1,0 +1,77 @@
+package medley_test
+
+import (
+	"fmt"
+
+	"medley"
+)
+
+// Example demonstrates atomic composition of operations on two independent
+// nonblocking structures — the paper's core use case.
+func Example() {
+	mgr := medley.NewTxManager()
+	accounts := medley.NewHashMap[int](1024)
+	audit := medley.NewSkipListMap[uint64, int]()
+
+	s := mgr.Session()
+	accounts.Put(s, 42, 100)
+
+	err := s.Run(func() error {
+		v, _ := accounts.Get(s, 42)
+		accounts.Put(s, 42, v-30)
+		audit.Put(s, 1, 30) // audit record commits with the debit, or not at all
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	v, _ := accounts.Get(s, 42)
+	a, _ := audit.Get(s, 1)
+	fmt.Println(v, a)
+	// Output: 70 30
+}
+
+// ExampleSession_Run shows conflict-retry versus business-abort semantics.
+func ExampleSession_Run() {
+	mgr := medley.NewTxManager()
+	m := medley.NewHashMap[int](64)
+	s := mgr.Session()
+	m.Put(s, 1, 5)
+
+	errNotEnough := fmt.Errorf("not enough")
+	err := s.Run(func() error {
+		v, _ := m.Get(s, 1)
+		if v < 10 {
+			if verr := s.ValidateReads(); verr != nil {
+				return verr // stale read: Run retries
+			}
+			s.TxAbort()
+			return errNotEnough // genuine shortfall: no retry
+		}
+		m.Put(s, 1, v-10)
+		return nil
+	})
+	fmt.Println(err == errNotEnough)
+	// Output: true
+}
+
+// ExampleNewQueue shows transactional composition across abstraction
+// families: a queue operation and a map operation commit together.
+func ExampleNewQueue() {
+	mgr := medley.NewTxManager()
+	q := medley.NewQueue[string]()
+	seen := medley.NewHashMap[bool](64)
+
+	s := mgr.Session()
+	_ = s.Run(func() error {
+		q.Enqueue(s, "job-7")
+		seen.Put(s, 7, true)
+		return nil
+	})
+
+	job, _ := q.Dequeue(s)
+	ok, _ := seen.Get(s, 7)
+	fmt.Println(job, ok)
+	// Output: job-7 true
+}

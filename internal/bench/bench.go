@@ -1,0 +1,256 @@
+// Package bench is the harness that regenerates the Medley paper's
+// evaluation (Section 6): the transactional microbenchmark of Figures 7–8,
+// the latency study of Figure 10, and the supporting machinery for the
+// TPC-C study of Figure 9 (see package tpcc).
+//
+// Methodology follows Section 6.1: structures are preloaded with
+// Preload key-value pairs drawn from a KeySpace of uniformly random 8-byte
+// keys; each thread then composes and executes transactions of 1–10
+// operations, choosing get / insert / remove in a configured ratio (0:1:1,
+// 2:1:1, or 18:1:1 in the paper).
+package bench
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// OpKind selects a map operation.
+type OpKind uint8
+
+const (
+	Get OpKind = iota
+	Insert
+	Remove
+)
+
+// Op is one operation of a generated transaction.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	Val  uint64
+}
+
+// Workload describes the microbenchmark configuration.
+type Workload struct {
+	KeySpace uint64 // keys drawn uniformly from [0, KeySpace)
+	Preload  int    // pairs inserted before measurement
+	GetW     int    // get weight   (paper: 0, 2, or 18)
+	InsW     int    // insert weight (paper: 1)
+	RemW     int    // remove weight (paper: 1)
+	MinOps   int    // min ops per transaction (paper: 1)
+	MaxOps   int    // max ops per transaction (paper: 10)
+}
+
+// PaperWorkload returns the paper's configuration for a get:insert:remove
+// ratio, at a scale factor (1.0 = the paper's 1M keyspace / 0.5M preload).
+func PaperWorkload(getW, insW, remW int, scale float64) Workload {
+	ks := uint64(float64(1_000_000) * scale)
+	if ks < 16 {
+		ks = 16
+	}
+	return Workload{
+		KeySpace: ks,
+		Preload:  int(ks / 2),
+		GetW:     getW, InsW: insW, RemW: remW,
+		MinOps: 1, MaxOps: 10,
+	}
+}
+
+// Ratio returns "g:i:r" for reports.
+func (w Workload) Ratio() string { return fmt.Sprintf("%d:%d:%d", w.GetW, w.InsW, w.RemW) }
+
+// GenTx fills buf with a random transaction and returns it.
+func (w Workload) GenTx(rng *rand.Rand, buf []Op) []Op {
+	n := w.MinOps
+	if w.MaxOps > w.MinOps {
+		n += rng.IntN(w.MaxOps - w.MinOps + 1)
+	}
+	buf = buf[:0]
+	total := w.GetW + w.InsW + w.RemW
+	for i := 0; i < n; i++ {
+		k := rng.Uint64N(w.KeySpace)
+		r := rng.IntN(total)
+		var kind OpKind
+		switch {
+		case r < w.GetW:
+			kind = Get
+		case r < w.GetW+w.InsW:
+			kind = Insert
+		default:
+			kind = Remove
+		}
+		buf = append(buf, Op{Kind: kind, Key: k, Val: k + 1})
+	}
+	return buf
+}
+
+// System is one benchmarked implementation.
+type System interface {
+	Name() string
+	// Preload inserts the initial pairs (single-threaded, unmeasured).
+	Preload(wl Workload)
+	// NewWorker returns a per-thread handle.
+	NewWorker(tid int) Worker
+	// Close releases background resources (epoch advancers etc.).
+	Close()
+}
+
+// Worker executes transactions for one thread.
+type Worker interface {
+	// RunTx executes ops as one transaction, retrying internally until it
+	// commits.
+	RunTx(ops []Op)
+	// RunOpsNoTx executes ops back to back without a surrounding
+	// transaction (the TxOff and Original modes of Figure 10). Workers of
+	// systems without a standalone mode may panic.
+	RunOpsNoTx(ops []Op)
+}
+
+// Result is one measured throughput point.
+type Result struct {
+	System     string
+	Ratio      string
+	Threads    int
+	Txns       uint64
+	Duration   time.Duration
+	Throughput float64 // transactions per second
+}
+
+// RunThroughput drives threads workers for dur and reports aggregate
+// transaction throughput.
+func RunThroughput(sys System, wl Workload, threads int, dur time.Duration) Result {
+	sys.Preload(wl)
+	var stop atomic.Bool
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	var ready, start sync.WaitGroup
+	ready.Add(threads)
+	start.Add(1)
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			w := sys.NewWorker(tid)
+			rng := rand.New(rand.NewPCG(uint64(tid)+1, 0x9e3779b97f4a7c15))
+			buf := make([]Op, 0, wl.MaxOps)
+			ready.Done()
+			start.Wait()
+			n := uint64(0)
+			for !stop.Load() {
+				ops := wl.GenTx(rng, buf)
+				w.RunTx(ops)
+				n++
+			}
+			total.Add(n)
+		}(t)
+	}
+	ready.Wait()
+	t0 := time.Now()
+	start.Done()
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	el := time.Since(t0)
+	txns := total.Load()
+	return Result{
+		System: sys.Name(), Ratio: wl.Ratio(), Threads: threads,
+		Txns: txns, Duration: el,
+		Throughput: float64(txns) / el.Seconds(),
+	}
+}
+
+// LatencyMode selects the Figure 10 variant.
+type LatencyMode int
+
+const (
+	// ModeOriginal runs the untransformed structure, ops back to back.
+	ModeOriginal LatencyMode = iota
+	// ModeTxOff runs the NBTC-transformed structure without transactions.
+	ModeTxOff
+	// ModeTxOn wraps each generated group in a transaction.
+	ModeTxOn
+)
+
+func (m LatencyMode) String() string {
+	switch m {
+	case ModeOriginal:
+		return "Original"
+	case ModeTxOff:
+		return "TxOff"
+	case ModeTxOn:
+		return "TxOn"
+	}
+	return "?"
+}
+
+// LatencyResult is one measured latency point.
+type LatencyResult struct {
+	System  string
+	Mode    LatencyMode
+	Ratio   string
+	Threads int
+	NsPerTx float64
+}
+
+// RunLatency measures average wall-clock ns per transaction (or per op
+// group, for the non-transactional modes) at the given thread count,
+// mirroring Figure 10's methodology.
+func RunLatency(sys System, wl Workload, mode LatencyMode, threads int, dur time.Duration) LatencyResult {
+	sys.Preload(wl)
+	var stop atomic.Bool
+	var totalTx atomic.Uint64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			w := sys.NewWorker(tid)
+			rng := rand.New(rand.NewPCG(uint64(tid)+1, 77))
+			buf := make([]Op, 0, wl.MaxOps)
+			n := uint64(0)
+			for !stop.Load() {
+				ops := wl.GenTx(rng, buf)
+				if mode == ModeTxOn {
+					w.RunTx(ops)
+				} else {
+					w.RunOpsNoTx(ops)
+				}
+				n++
+			}
+			totalTx.Add(n)
+		}(t)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	el := time.Since(t0)
+	tx := totalTx.Load()
+	ns := float64(el.Nanoseconds()) * float64(threads) / float64(tx)
+	return LatencyResult{
+		System: sys.Name(), Mode: mode, Ratio: wl.Ratio(), Threads: threads,
+		NsPerTx: ns,
+	}
+}
+
+// DefaultThreadSweep returns the thread counts used for throughput figures,
+// scaled to the host (the paper sweeps 1..80 on an 80-hyperthread box).
+func DefaultThreadSweep() []int {
+	max := runtime.GOMAXPROCS(0)
+	sweep := []int{1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 80}
+	var out []int
+	for _, t := range sweep {
+		if t <= max {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 || out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}

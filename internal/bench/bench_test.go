@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+func TestGenTxRespectsRatioAndSize(t *testing.T) {
+	wl := PaperWorkload(18, 1, 1, 0.01)
+	rng := rand.New(rand.NewPCG(1, 2))
+	buf := make([]Op, 0, wl.MaxOps)
+	counts := map[OpKind]int{}
+	total := 0
+	for i := 0; i < 5000; i++ {
+		ops := wl.GenTx(rng, buf)
+		if len(ops) < wl.MinOps || len(ops) > wl.MaxOps {
+			t.Fatalf("tx size %d outside [%d,%d]", len(ops), wl.MinOps, wl.MaxOps)
+		}
+		for _, op := range ops {
+			counts[op.Kind]++
+			total++
+			if op.Key >= wl.KeySpace {
+				t.Fatalf("key %d outside keyspace %d", op.Key, wl.KeySpace)
+			}
+		}
+	}
+	getFrac := float64(counts[Get]) / float64(total)
+	if getFrac < 0.85 || getFrac > 0.95 {
+		t.Fatalf("get fraction %.3f, want ~0.9 for 18:1:1", getFrac)
+	}
+	insFrac := float64(counts[Insert]) / float64(total)
+	remFrac := float64(counts[Remove]) / float64(total)
+	if insFrac < 0.03 || insFrac > 0.07 || remFrac < 0.03 || remFrac > 0.07 {
+		t.Fatalf("insert/remove fractions %.3f/%.3f, want ~0.05", insFrac, remFrac)
+	}
+}
+
+func TestPaperWorkloadScaling(t *testing.T) {
+	wl := PaperWorkload(0, 1, 1, 1.0)
+	if wl.KeySpace != 1_000_000 || wl.Preload != 500_000 {
+		t.Fatalf("full-scale workload = %+v", wl)
+	}
+	small := PaperWorkload(0, 1, 1, 0.00000001)
+	if small.KeySpace < 16 {
+		t.Fatalf("tiny scale not clamped: %d", small.KeySpace)
+	}
+	if got := wl.Ratio(); got != "0:1:1" {
+		t.Fatalf("Ratio = %q", got)
+	}
+}
+
+func TestDefaultThreadSweepMonotoneAndBounded(t *testing.T) {
+	sweep := DefaultThreadSweep()
+	if len(sweep) == 0 {
+		t.Fatal("empty sweep")
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i] <= sweep[i-1] {
+			t.Fatalf("sweep not increasing: %v", sweep)
+		}
+	}
+}
+
+// Smoke test every system through one short throughput run: the harness
+// must produce nonzero results and structures must survive.
+func TestAllSystemsSmoke(t *testing.T) {
+	wl := PaperWorkload(2, 1, 1, 0.001)
+	lat := PnvmFreeLatencies()
+	systems := []func() System{
+		func() System { return NewMedleyHash(wl) },
+		func() System { return NewMedleySkip(wl) },
+		func() System { return NewTxMontageHash(wl, lat, 5*time.Millisecond) },
+		func() System { return NewTxMontageSkip(wl, lat, 5*time.Millisecond) },
+		func() System { return NewOneFileHash(wl) },
+		func() System { return NewOneFileSkip(wl) },
+		func() System { return NewPOneFileHash(wl, lat) },
+		func() System { return NewPOneFileSkip(wl, lat) },
+		func() System { return NewTDSLSkip(wl) },
+		func() System { return NewLFTTSkip(wl) },
+	}
+	for _, mk := range systems {
+		sys := mk()
+		res := RunThroughput(sys, wl, 4, 50*time.Millisecond)
+		sys.Close()
+		if res.Txns == 0 {
+			t.Errorf("%s: no transactions completed", res.System)
+		}
+	}
+}
+
+func TestLatencyModes(t *testing.T) {
+	wl := PaperWorkload(2, 1, 1, 0.001)
+	for _, mode := range []LatencyMode{ModeOriginal, ModeTxOff, ModeTxOn} {
+		var sys System
+		if mode == ModeOriginal {
+			sys = NewOriginalSkip(wl)
+		} else {
+			sys = NewMedleySkip(wl)
+		}
+		res := RunLatency(sys, wl, mode, 2, 50*time.Millisecond)
+		sys.Close()
+		if res.NsPerTx <= 0 {
+			t.Errorf("mode %v: nonpositive latency", mode)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package boost
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"medley/internal/core"
+	"medley/internal/structures/mhash"
+)
+
+func TestBoostedMapBasic(t *testing.T) {
+	mgr := core.NewTxManager()
+	m := NewMap[int](16)
+	s := mgr.Session()
+	if err := m.Put(s, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := m.Get(s, 1)
+	if err != nil || !ok || v != 10 {
+		t.Fatalf("Get = %d,%v,%v", v, ok, err)
+	}
+	old, had, err := m.Remove(s, 1)
+	if err != nil || !had || old != 10 {
+		t.Fatalf("Remove = %d,%v,%v", old, had, err)
+	}
+	if m.Len() != 0 {
+		t.Fatal("not empty")
+	}
+}
+
+func TestBoostedAbortRunsInverses(t *testing.T) {
+	mgr := core.NewTxManager()
+	m := NewMap[int](16)
+	s := mgr.Session()
+	m.Put(s, 1, 10)
+
+	s.TxBegin()
+	if err := m.Put(s, 1, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(s, 2, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Remove(s, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.TxAbort()
+
+	if v, ok, _ := m.Get(s, 1); !ok || v != 10 {
+		t.Fatalf("inverse failed: Get(1) = %d,%v", v, ok)
+	}
+	if _, ok, _ := m.Get(s, 2); ok {
+		t.Fatal("aborted insert visible")
+	}
+}
+
+func TestBoostedLocksReleasedOnCommitAndAbort(t *testing.T) {
+	mgr := core.NewTxManager()
+	m := NewMap[int](16)
+	s1 := mgr.Session()
+	s2 := mgr.Session()
+
+	s1.TxBegin()
+	m.Put(s1, 1, 1)
+	// s2 must conflict while s1 holds the semantic lock…
+	s2.TxBegin()
+	if err := m.Put(s2, 1, 2); !errors.Is(err, core.ErrTxAborted) {
+		t.Fatalf("expected lock conflict, got %v", err)
+	}
+	if s2.InTx() {
+		t.Fatal("conflicting tx not aborted")
+	}
+	// …and succeed after s1 commits.
+	if err := s1.TxEnd(); err != nil {
+		t.Fatal(err)
+	}
+	s2.TxBegin()
+	if err := m.Put(s2, 1, 2); err != nil {
+		t.Fatalf("lock not released after commit: %v", err)
+	}
+	s2.TxAbort()
+	// Abort must release too.
+	s1.TxBegin()
+	if err := m.Put(s1, 1, 3); err != nil {
+		t.Fatalf("lock not released after abort: %v", err)
+	}
+	s1.TxAbort()
+}
+
+func TestBoostedReentrantSameTx(t *testing.T) {
+	mgr := core.NewTxManager()
+	m := NewMap[int](16)
+	s := mgr.Session()
+	err := s.Run(func() error {
+		if err := m.Put(s, 1, 1); err != nil {
+			return err
+		}
+		if err := m.Put(s, 1, 2); err != nil { // reacquire own lock
+			return err
+		}
+		v, ok, err := m.Get(s, 1)
+		if err != nil || !ok || v != 2 {
+			t.Errorf("reentrant Get = %d,%v,%v", v, ok, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Boosted operations compose with NBTC structures in one transaction.
+func TestBoostedComposesWithNBTC(t *testing.T) {
+	mgr := core.NewTxManager()
+	bm := NewMap[int](16)
+	nm := mhash.NewUint64[int](64)
+	s := mgr.Session()
+	bm.Put(s, 1, 100)
+
+	err := s.Run(func() error {
+		v, ok, err := bm.Get(s, 1)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return core.ErrTxAborted
+		}
+		if err := bm.Put(s, 1, v-40); err != nil {
+			return err
+		}
+		nm.Put(s, 1, 40)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv, _, _ := bm.Get(s, 1)
+	nv, _ := nm.Get(s, 1)
+	if bv != 60 || nv != 40 {
+		t.Fatalf("values = %d,%d", bv, nv)
+	}
+}
+
+func TestBoostedConcurrentTransfersConserve(t *testing.T) {
+	mgr := core.NewTxManager()
+	m := NewMap[int](64)
+	s0 := mgr.Session()
+	const accounts = 16
+	for a := uint64(0); a < accounts; a++ {
+		m.Put(s0, a, 1000)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			s := mgr.Session()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 400; i++ {
+				a := uint64(rng.Intn(accounts))
+				b := uint64(rng.Intn(accounts))
+				if a == b {
+					continue
+				}
+				_ = s.Run(func() error {
+					va, ok, err := m.Get(s, a)
+					if err != nil {
+						return err
+					}
+					if !ok || va < 1 {
+						return nil
+					}
+					vb, _, err := m.Get(s, b)
+					if err != nil {
+						return err
+					}
+					if err := m.Put(s, a, va-1); err != nil {
+						return err
+					}
+					return m.Put(s, b, vb+1)
+				})
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	total := 0
+	for a := uint64(0); a < accounts; a++ {
+		v, _, _ := m.Get(s0, a)
+		total += v
+	}
+	if total != accounts*1000 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestNonTransactionalPathImmediate(t *testing.T) {
+	mgr := core.NewTxManager()
+	m := NewMap[int](4)
+	s := mgr.Session()
+	// Outside a transaction, ops apply immediately and locks do not linger.
+	m.Put(s, 1, 1)
+	s2 := mgr.Session()
+	if err := m.Put(s2, 1, 2); err != nil {
+		t.Fatalf("lock lingered: %v", err)
+	}
+	if v, _, _ := m.Get(s, 1); v != 2 {
+		t.Fatalf("v = %d", v)
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// ReadTag is an opaque token returned by NbtcLoad and passed to
+// Session.AddToReadSet. It identifies the cell (value version) observed by
+// the load; at commit time the transaction validates that the object still
+// holds that cell (or a cell the transaction itself installed over it).
+type ReadTag unsafe.Pointer
+
+// cellHeader is the type-erased prefix of every cell. It MUST be the first
+// field of cell[T] so that a *cell[T] can be viewed as a *cellHeader by the
+// generic descriptor machinery.
+type cellHeader struct {
+	// desc is non-nil while a transaction descriptor is installed in the
+	// owning CASObj (the paper's "odd counter" state).
+	desc *Desc
+	// prev is the cell this cell was installed over. It is meaningful only
+	// while desc != nil and is used to validate reads that the installing
+	// transaction subsequently overwrote.
+	prev unsafe.Pointer
+	// seq mirrors the paper's 64-bit counter: even for a real value, odd
+	// while a descriptor is installed. Correctness does not depend on it
+	// (cells are immutable and GC prevents reuse); it is kept for fidelity
+	// and for invariant checks in tests.
+	seq uint64
+}
+
+// cell is one immutable version of a CASObj's contents.
+type cell[T comparable] struct {
+	cellHeader
+	// val is the current value; while desc != nil it is the speculative
+	// value that takes effect if the transaction commits.
+	val T
+	// old is the value that was overwritten by the install; it is restored
+	// if the transaction aborts. Meaningful only while desc != nil.
+	old T
+}
+
+// Obj is the type-erased view of a *CASObj[T] used by descriptors for
+// validation and uninstalling. Only *CASObj[T] implements it.
+type Obj interface {
+	curCell() unsafe.Pointer
+	uninstallFor(d *Desc, committed bool)
+}
+
+// CASObj is an augmented atomic word (the paper's CASObj<T>, Fig. 1 and
+// Fig. 4). The zero value holds the zero value of T. T must be comparable;
+// pointer types and small structs of pointers/booleans (e.g. marked
+// references) are the intended instantiations.
+type CASObj[T comparable] struct {
+	c atomic.Pointer[cell[T]]
+}
+
+var _ Obj = (*CASObj[int])(nil)
+
+// resolve loads the current cell, eagerly finalizing any foreign descriptor
+// it encounters (the paper's tryFinalize loop). On return the cell is either
+// nil (implicit zero value), a real-value cell, or a cell installed by
+// `own` (when own != nil).
+func (o *CASObj[T]) resolve(own *Desc) *cell[T] {
+	for {
+		c := o.c.Load()
+		if c == nil || c.desc == nil || c.desc == own {
+			return c
+		}
+		c.desc.tryFinalize(o, unsafe.Pointer(c))
+	}
+}
+
+// Load atomically reads the current value, resolving (finalizing and
+// uninstalling) any descriptor found in the object. This is the paper's
+// "regular atomic method" load; safe to call inside or outside transactions,
+// but inside a transaction it performs no read tracking.
+func (o *CASObj[T]) Load() T {
+	c := o.resolve(nil)
+	if c == nil {
+		var zero T
+		return zero
+	}
+	return c.val
+}
+
+// Store atomically replaces the current value.
+func (o *CASObj[T]) Store(v T) {
+	for {
+		c := o.resolve(nil)
+		var seq uint64
+		if c != nil {
+			seq = c.seq
+		}
+		nc := &cell[T]{cellHeader{seq: seq + 2}, v, v}
+		if o.c.CompareAndSwap(c, nc) {
+			return
+		}
+	}
+}
+
+// CAS is a plain (non-speculative) compare-and-swap on the value. It
+// resolves foreign descriptors before comparing, and retries on version
+// churn so long as the current value still equals expected.
+func (o *CASObj[T]) CAS(expected, desired T) bool {
+	for {
+		c := o.resolve(nil)
+		var cur T
+		var seq uint64
+		if c != nil {
+			cur, seq = c.val, c.seq
+		}
+		if cur != expected {
+			return false
+		}
+		nc := &cell[T]{cellHeader{seq: seq + 2}, desired, desired}
+		if o.c.CompareAndSwap(c, nc) {
+			return true
+		}
+	}
+}
+
+// NbtcLoad is the transactional load of Fig. 5. Outside a transaction it
+// degenerates to Load. Inside a transaction it returns the speculative value
+// if this transaction has a descriptor installed here (starting the
+// speculation interval, per Def. 3), and otherwise the committed value. The
+// returned ReadTag may be passed to Session.AddToReadSet if this load is the
+// operation's immediately identifiable linearization point.
+func (o *CASObj[T]) NbtcLoad(s *Session) (T, ReadTag) {
+	var own *Desc
+	if s != nil {
+		own = s.desc
+	}
+	c := o.resolve(own)
+	if c == nil {
+		var zero T
+		return zero, nil
+	}
+	if c.desc != nil { // own descriptor: speculative read
+		s.inSpec = true
+		return c.val, ReadTag(c.prev)
+	}
+	return c.val, ReadTag(unsafe.Pointer(c))
+}
+
+// NbtcCAS is the transactional CAS of Fig. 5. linPt indicates that a
+// successful CAS is the operation's linearization point; pubPt indicates it
+// is the publication point (Def. 3). Outside a transaction it degenerates to
+// a plain CAS. Inside a transaction, CASes within the speculation interval
+// are executed speculatively by installing the transaction's descriptor; the
+// write takes effect only if the transaction commits.
+func (o *CASObj[T]) NbtcCAS(s *Session, expected, desired T, linPt, pubPt bool) bool {
+	if s == nil || s.desc == nil {
+		return o.CAS(expected, desired)
+	}
+	d := s.desc
+	for {
+		c := o.resolve(d)
+		if c != nil && c.desc != nil {
+			// Own descriptor already installed here: speculative update of
+			// the pending new value (paper Fig. 5 line 34). Replacing the
+			// installed cell keeps old/prev so helpers can still abort us.
+			s.inSpec = true
+			if c.val != expected {
+				return false
+			}
+			nc := &cell[T]{cellHeader{desc: d, prev: c.prev, seq: c.seq}, desired, c.old}
+			if o.c.CompareAndSwap(c, nc) {
+				if linPt {
+					s.inSpec = false
+				}
+				return true
+			}
+			continue // a helper finalized us meanwhile; re-resolve
+		}
+		var cur T
+		var seq uint64
+		if c != nil {
+			cur, seq = c.val, c.seq
+		}
+		if cur != expected {
+			return false
+		}
+		if pubPt {
+			s.inSpec = true
+		}
+		if !s.inSpec {
+			// Non-critical CAS: execute on the fly (methodology step 1).
+			nc := &cell[T]{cellHeader{seq: seq + 2}, desired, desired}
+			if o.c.CompareAndSwap(c, nc) {
+				return true
+			}
+			continue
+		}
+		// Critical CAS: install the descriptor (methodology step 2).
+		nc := &cell[T]{cellHeader{desc: d, prev: unsafe.Pointer(c), seq: seq + 1}, desired, cur}
+		d.writeSet = append(d.writeSet, o)
+		if !o.c.CompareAndSwap(c, nc) {
+			d.writeSet = d.writeSet[:len(d.writeSet)-1]
+			return false // contention; let the data structure retry its loop
+		}
+		s.stats().Installs.Add(1)
+		if linPt {
+			s.inSpec = false
+		}
+		return true
+	}
+}
+
+// curCell implements Obj.
+func (o *CASObj[T]) curCell() unsafe.Pointer {
+	return unsafe.Pointer(o.c.Load())
+}
+
+// uninstallFor implements Obj: if a cell installed by d is present, replace
+// it with the real-value cell dictated by d's final status. Loops because
+// the owner may concurrently replace one installed cell with another
+// (speculative new-value update); idempotent across racing helpers.
+func (o *CASObj[T]) uninstallFor(d *Desc, committed bool) {
+	for {
+		c := o.c.Load()
+		if c == nil || c.desc != d {
+			return
+		}
+		v := c.val
+		if !committed {
+			v = c.old
+		}
+		nc := &cell[T]{cellHeader{seq: c.seq + 1}, v, v}
+		if o.c.CompareAndSwap(c, nc) {
+			return
+		}
+	}
+}
+
+// seqOf reports the current cell's sequence number (tests only).
+func (o *CASObj[T]) seqOf() uint64 {
+	c := o.c.Load()
+	if c == nil {
+		return 0
+	}
+	return c.seq
+}
+
+// installedBy reports whether a descriptor is currently installed (tests and
+// invariant checks only).
+func (o *CASObj[T]) installedBy() *Desc {
+	c := o.c.Load()
+	if c == nil {
+		return nil
+	}
+	return c.desc
+}

@@ -1,0 +1,42 @@
+// Package core implements NBTC (NonBlocking Transaction Composition) and
+// Medley, following "Transactional Composition of Nonblocking Data
+// Structures" (Cai, Wen, Scott; PPoPP 2023).
+//
+// The package provides:
+//
+//   - CASObj[T]: an augmented atomic word supporting both plain atomic
+//     operations and the transactional NbtcLoad / NbtcCAS operations of
+//     Section 3.1 of the paper.
+//   - Desc: the M-compare-N-swap (MCNS) transaction descriptor of Section
+//     3.2, with install / tryFinalize / validate / uninstall phases.
+//   - TxManager and Session: transaction lifecycle management (txBegin,
+//     txEnd, txAbort, validateReads), deferred cleanups, allocation undo,
+//     and retry helpers.
+//
+// # Mapping from the paper's 128-bit CAS to Go
+//
+// The C++ implementation pairs every transactional 64-bit word with a 64-bit
+// counter and uses x86 CMPXCHG16B to switch the pair between "real value"
+// (even counter) and "descriptor installed" (odd counter). Go has no 128-bit
+// CAS, but it has a garbage collector, which eliminates the ABA hazard the
+// counter exists to prevent. We therefore represent the
+// (value, counter, descriptor) triple as an immutable heap cell reached
+// through a single atomic.Pointer. Cell identity subsumes {value, counter}
+// equality, so read-set validation is one pointer comparison. The paper's
+// counter is retained in each cell (with the same parity convention) purely
+// for introspection and test assertions.
+//
+// # Concurrency protocol
+//
+// A critical CAS installs a new cell that carries the owning descriptor, the
+// speculative new value, the overwritten old value, and a pointer to the
+// replaced cell (used to validate reads that the same transaction later
+// overwrote). Conflicting threads that encounter an installed cell eagerly
+// finalize the descriptor (abort if InPrep, help validate/commit if InProg)
+// and uninstall the cell they tripped over; the owner sweeps its entire
+// write set on commit or abort. Helpers never mutate a descriptor's read or
+// write sets, and they read the read set only after observing status InProg
+// (at which point both sets are frozen), so the protocol is free of data
+// races by construction. Eager contention management makes the system
+// obstruction-free, exactly as argued in Section 5.2 of the paper.
+package core

@@ -1,0 +1,10 @@
+package core
+
+import "errors"
+
+// ErrTxAborted is returned by Session.TxEnd (and Session.TxAbort, and
+// doomed-transaction checks such as Session.ValidateReads) when the current
+// transaction did not commit. It plays the role of the paper's
+// TransactionAborted exception; Session.Run retries the transaction body
+// when it observes this error.
+var ErrTxAborted = errors.New("medley: transaction aborted")

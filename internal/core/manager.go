@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Stats counts transaction events. Fields are atomic so that aggregation can
+// run concurrently with the owning session.
+type Stats struct {
+	Begins   atomic.Uint64 // transactions started
+	Commits  atomic.Uint64 // transactions committed
+	Aborts   atomic.Uint64 // transactions aborted (conflict or explicit)
+	Helps    atomic.Uint64 // foreign descriptors finalized on this session's behalf
+	Installs atomic.Uint64 // critical CASes that installed a descriptor
+	Reads    atomic.Uint64 // read-set entries recorded
+}
+
+// StatsSnapshot is a plain-value copy of Stats.
+type StatsSnapshot struct {
+	Begins, Commits, Aborts, Helps, Installs, Reads uint64
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Begins:   s.Begins.Load(),
+		Commits:  s.Commits.Load(),
+		Aborts:   s.Aborts.Load(),
+		Helps:    s.Helps.Load(),
+		Installs: s.Installs.Load(),
+		Reads:    s.Reads.Load(),
+	}
+}
+
+// Add accumulates another snapshot into s.
+func (s *StatsSnapshot) Add(o StatsSnapshot) {
+	s.Begins += o.Begins
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+	s.Helps += o.Helps
+	s.Installs += o.Installs
+	s.Reads += o.Reads
+}
+
+// TxManager owns transaction metadata shared among all Composable structures
+// intended for use in the same transactions (paper Fig. 1). One TxManager
+// instance must be shared by every structure touched by a given transaction;
+// each worker goroutine obtains its own Session from it.
+type TxManager struct {
+	mu       sync.Mutex
+	sessions []*Session
+	nextID   int
+
+	// beginHook, if set, runs at the start of every transaction on the
+	// beginning session. Used by txMontage to pin the transaction's epoch
+	// and register the epoch validator.
+	beginHook func(*Session)
+	// endHook, if set, runs when a transaction finishes (after the write
+	// set is swept, before cleanups/undos), with the commit outcome. Used
+	// by txMontage to release the session's epoch reservation.
+	endHook func(*Session, bool)
+	// retireHook, if set, observes TRetire'd nodes after commit. Used by
+	// the persistence layer to retire NVM payloads.
+	retireHook func(any)
+}
+
+// NewTxManager creates an empty transaction manager.
+func NewTxManager() *TxManager { return &TxManager{} }
+
+// SetBeginHook installs a hook invoked at TxBegin. It must be set before any
+// transactions run.
+func (m *TxManager) SetBeginHook(h func(*Session)) { m.beginHook = h }
+
+// SetEndHook installs a hook invoked when every transaction finishes, with
+// its commit outcome. It must be set before any transactions run.
+func (m *TxManager) SetEndHook(h func(*Session, bool)) { m.endHook = h }
+
+// SetRetireHook installs a hook invoked for every TRetire'd node after its
+// transaction commits. It must be set before any transactions run.
+func (m *TxManager) SetRetireHook(h func(any)) { m.retireHook = h }
+
+// Session creates a new session bound to this manager. Sessions are not
+// goroutine-safe; create one per worker goroutine.
+func (m *TxManager) Session() *Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := &Session{mgr: m, id: m.nextID}
+	m.nextID++
+	m.sessions = append(m.sessions, s)
+	return s
+}
+
+// Stats aggregates counters across all sessions.
+func (m *TxManager) Stats() StatsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total StatsSnapshot
+	for _, s := range m.sessions {
+		total.Add(s.st.snapshot())
+	}
+	return total
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"time"
+	"unsafe"
+)
+
+// Session is a per-goroutine handle onto a TxManager: the Go analogue of the
+// paper's thread-local transaction state plus OpStarter. Each worker
+// goroutine must use its own Session; a Session must not be shared between
+// goroutines. All data-structure operations take a Session so that they can
+// tell whether execution is currently inside a transaction (in which case
+// NBTC instrumentation applies) or outside (in which case it is elided).
+type Session struct {
+	mgr  *TxManager
+	id   int
+	desc *Desc // non-nil while inside a transaction
+
+	// inSpec tracks whether execution is inside the current operation's
+	// speculation interval (Def. 3): set on a publication point or on
+	// first contact with a value speculatively written by this
+	// transaction; cleared by a successful linearizing CAS.
+	inSpec bool
+
+	cleanups []func() // post-critical work, run after commit
+	undos    []func() // tNew compensation, run after abort
+
+	// TxData is scratch space for layered systems (txMontage stores its
+	// per-transaction epoch context here). Reset to nil at TxBegin.
+	TxData any
+
+	// Ext is a stable per-session extension slot for layered systems; it
+	// survives across transactions (txMontage caches the session's epoch
+	// pin here). Owned by whatever system the TxManager is attached to.
+	Ext any
+
+	rng uint64
+	st  Stats
+}
+
+// ID returns the session's thread id within its TxManager.
+func (s *Session) ID() int { return s.id }
+
+// Manager returns the owning TxManager.
+func (s *Session) Manager() *TxManager { return s.mgr }
+
+// OpStart marks the beginning of a data-structure operation (the paper's
+// OpStarter). It resets the speculation-interval flag: each operation's
+// speculation interval starts fresh and is re-entered only on a publication
+// point or on contact with a value speculatively written by an earlier
+// operation of the same transaction.
+func (s *Session) OpStart() { s.inSpec = false }
+
+// InTx reports whether the session is currently inside a transaction. Data
+// structures use this (like the paper's OpStarter) to elide instrumentation
+// and to run cleanup immediately when called outside a transaction.
+func (s *Session) InTx() bool { return s.desc != nil }
+
+// Desc returns the current transaction's descriptor, or nil.
+func (s *Session) Desc() *Desc { return s.desc }
+
+func (s *Session) stats() *Stats { return &s.st }
+
+// TxBegin starts a new transaction (paper Fig. 5, txBegin). Transactions do
+// not nest; calling TxBegin while a transaction is open panics, since that
+// is a programming error rather than a recoverable condition.
+func (s *Session) TxBegin() {
+	if s.desc != nil {
+		panic("medley: TxBegin inside an open transaction")
+	}
+	d := newDesc(s)
+	s.desc = d
+	s.inSpec = false
+	s.cleanups = s.cleanups[:0]
+	s.undos = s.undos[:0]
+	s.TxData = nil
+	s.st.Begins.Add(1)
+	if h := s.mgr.beginHook; h != nil {
+		h(s)
+	}
+}
+
+// TxEnd attempts to commit the current transaction (paper Fig. 6, txEnd).
+// It returns nil on commit and ErrTxAborted otherwise. Either way the
+// transaction is finished when TxEnd returns: speculative writes are made
+// visible or rolled back, and cleanups or undo handlers have run.
+func (s *Session) TxEnd() error {
+	d := s.desc
+	if d == nil {
+		panic("medley: TxEnd outside a transaction")
+	}
+	if d.status.CompareAndSwap(uint32(InPrep), uint32(InProg)) {
+		if d.validate() {
+			d.status.CompareAndSwap(uint32(InProg), uint32(Committed))
+		} else {
+			d.status.CompareAndSwap(uint32(InProg), uint32(Aborted))
+		}
+	}
+	return s.finish(d)
+}
+
+// TxAbort explicitly aborts the current transaction (paper Fig. 6, txAbort)
+// and always returns ErrTxAborted, so that transaction bodies can write
+// "return s.TxAbort()".
+func (s *Session) TxAbort() error {
+	d := s.desc
+	if d == nil {
+		panic("medley: TxAbort outside a transaction")
+	}
+	for {
+		st := Status(d.status.Load())
+		if st == Committed || st == Aborted {
+			break
+		}
+		d.status.CompareAndSwap(uint32(st), uint32(Aborted))
+	}
+	err := s.finish(d)
+	if err == nil {
+		// A helper can commit us only after we reached InProg, which
+		// TxAbort never sets; reaching here would be a protocol bug.
+		panic("medley: TxAbort observed a committed transaction")
+	}
+	return err
+}
+
+// finish completes a transaction whose status has been finalized (possibly
+// by a helper): sweeps the write set, runs cleanups or undos, updates stats,
+// and closes the session's transaction scope.
+func (s *Session) finish(d *Desc) error {
+	st := Status(d.status.Load())
+	committed := st == Committed
+	d.sweep(committed)
+	s.desc = nil
+	s.inSpec = false
+	if committed {
+		for _, f := range s.cleanups {
+			f()
+		}
+	} else {
+		for i := len(s.undos) - 1; i >= 0; i-- {
+			s.undos[i]()
+		}
+	}
+	// The end hook runs after cleanups and undos: txMontage releases the
+	// session's epoch pin here, which guarantees that post-commit payload
+	// retirements (and abort compensation) reach their epoch's persistence
+	// batch before the epoch system may flush it.
+	if h := s.mgr.endHook; h != nil {
+		h(s, committed)
+	}
+	if committed {
+		s.st.Commits.Add(1)
+		return nil
+	}
+	s.st.Aborts.Add(1)
+	return ErrTxAborted
+}
+
+// ValidateReads optionally checks mid-transaction that all recorded reads
+// are still valid (paper Fig. 1, validateReads: the opacity escape hatch).
+// If validation fails the transaction is aborted and ErrTxAborted returned.
+func (s *Session) ValidateReads() error {
+	d := s.desc
+	if d == nil {
+		panic("medley: ValidateReads outside a transaction")
+	}
+	if d.Status() == InPrep && d.validate() {
+		return nil
+	}
+	return s.TxAbort()
+}
+
+// AddToReadSet registers the linearizing load of a read(-only) operation for
+// commit-time validation (paper Fig. 1/Fig. 5, addToReadSet). o is the
+// CASObj that was read and tag the ReadTag returned by NbtcLoad. Outside a
+// transaction this is a no-op.
+func (s *Session) AddToReadSet(o Obj, tag ReadTag) {
+	d := s.desc
+	if d == nil {
+		return
+	}
+	d.readSet = append(d.readSet, readRec{o: o, tag: unsafe.Pointer(tag)})
+	s.st.Reads.Add(1)
+}
+
+// AddToCleanups registers post-critical work (the paper's addToCleanups):
+// deferred until after commit when inside a transaction, executed
+// immediately otherwise.
+func (s *Session) AddToCleanups(f func()) {
+	if s.desc == nil {
+		f()
+		return
+	}
+	s.cleanups = append(s.cleanups, f)
+}
+
+// OnAbort registers compensation to run if the current transaction aborts
+// (the undo side of the paper's tNew). Outside a transaction it is a no-op:
+// there is nothing to compensate.
+func (s *Session) OnAbort(f func()) {
+	if s.desc == nil {
+		return
+	}
+	s.undos = append(s.undos, f)
+}
+
+// TRetire schedules safe memory reclamation of a node after the current
+// transaction commits (the paper's tRetire). Under Go's garbage collector
+// reclamation itself is automatic, so the default behaviour simply drops the
+// reference after commit; a TxManager RetireHook (used by the persistence
+// layer to retire NVM payloads) can observe retirement.
+func (s *Session) TRetire(x any) {
+	hook := s.mgr.retireHook
+	s.AddToCleanups(func() {
+		if hook != nil {
+			hook(x)
+		}
+	})
+}
+
+// Run executes fn as a transaction, retrying (with randomized exponential
+// backoff) whenever the transaction aborts due to a conflict. If fn returns
+// an error other than ErrTxAborted the transaction is aborted and the error
+// is returned to the caller without retry — the idiom for business-logic
+// aborts such as "insufficient funds".
+func (s *Session) Run(fn func() error) error {
+	for attempt := 0; ; attempt++ {
+		s.TxBegin()
+		err := fn()
+		if err == nil {
+			if s.desc == nil {
+				// fn aborted explicitly but returned nil; treat as conflict.
+				err = ErrTxAborted
+			} else {
+				err = s.TxEnd()
+				if err == nil {
+					return nil
+				}
+			}
+		} else if s.desc != nil {
+			s.TxAbort()
+		}
+		if !errors.Is(err, ErrTxAborted) {
+			return err
+		}
+		s.backoff(attempt)
+	}
+}
+
+// backoff applies bounded randomized exponential backoff between retries to
+// avoid livelock among mutually aborting transactions (paper Section 3.1).
+func (s *Session) backoff(attempt int) {
+	if attempt < 2 {
+		return
+	}
+	if attempt < 6 {
+		runtime.Gosched()
+		return
+	}
+	shift := attempt
+	if shift > 16 {
+		shift = 16
+	}
+	// xorshift64 for jitter
+	x := s.rng
+	if x == 0 {
+		x = uint64(s.id)*2654435769 + 0x9e3779b97f4a7c15
+	}
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng = x
+	spin := x % (1 << shift)
+	if spin > 1<<14 {
+		time.Sleep(time.Duration(spin>>4) * time.Nanosecond)
+		return
+	}
+	for i := uint64(0); i < spin; i++ {
+		runtime.Gosched()
+	}
+}

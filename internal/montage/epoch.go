@@ -1,0 +1,246 @@
+// Package montage implements an nbMontage-style periodic-persistence system
+// (Cai et al., DISC 2021) and its integration with Medley — the paper's
+// txMontage (Section 4).
+//
+// Wall-clock time is divided into epochs. Semantically significant data
+// ("payloads": key/value records) are written to (simulated) NVM as they are
+// created, tagged with the creating operation's epoch; indices live in
+// transient memory and are rebuilt on recovery. When the epoch advances from
+// e to e+1, all payload activity of epoch e-1 is written back and fenced —
+// off the application's critical path. A crash during epoch e therefore
+// recovers the state as of the end of epoch e-2 (buffered durable strict
+// serializability; Definitions 4–5 of the paper).
+//
+// The txMontage twist (Section 4.4) is one small hook: every Medley
+// transaction pins the epoch it began in and folds "current epoch == pinned
+// epoch" into MCNS read validation, so all operations of a transaction
+// linearize in one epoch and are recovered (or lost) together — failure
+// atomicity "almost for free".
+package montage
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"medley/internal/core"
+	"medley/internal/pnvm"
+)
+
+// firstEpoch leaves room for the e-2 recovery cut arithmetic.
+const firstEpoch = 3
+
+// EpochSys manages epochs, pending persistence batches, and session
+// registration. Create with NewEpochSys, attach to a TxManager with Attach,
+// and either run the background advancer (Start/Stop) or call Advance
+// manually (tests).
+type EpochSys struct {
+	dev   *pnvm.Device
+	epoch atomic.Uint64
+
+	// pending[e % pendSlots] holds record ids touched (created or retired)
+	// in epoch e, awaiting write-back. Striped to keep op-path contention
+	// low. An epoch's batch is flushed two advances later, so 8 slots are
+	// plenty.
+	stripes [16]pendStripe
+
+	mu     sync.Mutex
+	active []*atomic.Uint64 // per-session pinned epoch (0 = none)
+
+	claims atomic.Uint64 // retire-claim allocator
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+type pendStripe struct {
+	mu   sync.Mutex
+	pend map[uint64][]uint64 // epoch → record ids
+}
+
+// NewEpochSys creates an epoch system over the given device.
+func NewEpochSys(dev *pnvm.Device) *EpochSys {
+	es := &EpochSys{dev: dev}
+	es.epoch.Store(firstEpoch)
+	for i := range es.stripes {
+		es.stripes[i].pend = make(map[uint64][]uint64)
+	}
+	return es
+}
+
+// Device returns the underlying simulated NVM device.
+func (es *EpochSys) Device() *pnvm.Device { return es.dev }
+
+// Current returns the current epoch.
+func (es *EpochSys) Current() uint64 { return es.epoch.Load() }
+
+// NewClaim returns a fresh retire-claim token.
+func (es *EpochSys) NewClaim() uint64 { return es.claims.Add(1) }
+
+// registerSession allocates an active-epoch slot for a session.
+func (es *EpochSys) registerSession() *atomic.Uint64 {
+	slot := &atomic.Uint64{}
+	es.mu.Lock()
+	es.active = append(es.active, slot)
+	es.mu.Unlock()
+	return slot
+}
+
+func (es *EpochSys) pendAdd(sid int, epoch, id uint64) {
+	st := &es.stripes[sid%len(es.stripes)]
+	st.mu.Lock()
+	st.pend[epoch] = append(st.pend[epoch], id)
+	st.mu.Unlock()
+}
+
+// PNew writes a fresh payload to NVM tagged with epoch, registering it for
+// the epoch's persistence batch. Returns the payload id.
+func (es *EpochSys) PNew(sid int, key uint64, val []byte, epoch uint64) uint64 {
+	id, err := es.dev.Write(key, val, epoch)
+	if err != nil {
+		panic("montage: device crashed during operation: " + err.Error())
+	}
+	es.pendAdd(sid, epoch, id)
+	return id
+}
+
+// UnNew deletes a payload created by a transaction that aborted (it was
+// never durable: the epoch validator guarantees its batch has not flushed).
+func (es *EpochSys) UnNew(id uint64) { es.dev.Delete(id) }
+
+// PRetire marks a payload retired as of epoch, registering the mark for the
+// epoch's persistence batch. claim must come from NewClaim.
+func (es *EpochSys) PRetire(sid int, id, epoch, claim uint64) {
+	if err := es.dev.Retire(id, epoch, claim); err != nil {
+		panic("montage: device crashed during operation: " + err.Error())
+	}
+	es.pendAdd(sid, epoch, id)
+}
+
+// UnRetire clears a retire mark written by an aborting transaction.
+func (es *EpochSys) UnRetire(id, claim uint64) { es.dev.UnRetire(id, claim) }
+
+// Advance moves to the next epoch and persists (write-back + fence) the
+// batch from two epochs ago, after waiting for straggler transactions still
+// pinned to that epoch to finish (their commits are already impossible —
+// the epoch validator fails — so the wait is short and bounded by abort
+// processing).
+func (es *EpochSys) Advance() {
+	e := es.epoch.Add(1)
+	flushEpoch := e - 2
+	es.waitNotPinnedBelow(flushEpoch + 1)
+	for i := range es.stripes {
+		st := &es.stripes[i]
+		st.mu.Lock()
+		ids := st.pend[flushEpoch]
+		delete(st.pend, flushEpoch)
+		st.mu.Unlock()
+		for _, id := range ids {
+			es.dev.WriteBack(id)
+		}
+	}
+	es.dev.Fence()
+}
+
+// waitNotPinnedBelow spins until no session is pinned to an epoch < bound.
+func (es *EpochSys) waitNotPinnedBelow(bound uint64) {
+	for {
+		es.mu.Lock()
+		ok := true
+		for _, slot := range es.active {
+			if e := slot.Load(); e != 0 && e < bound {
+				ok = false
+				break
+			}
+		}
+		es.mu.Unlock()
+		if ok {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// Sync persists everything up to and including the current epoch: it
+// advances twice so the current epoch's batch flushes, making all
+// previously-committed transactions durable (the paper's wait-free sync,
+// here a simple blocking call).
+func (es *EpochSys) Sync() {
+	es.Advance()
+	es.Advance()
+}
+
+// Start launches the background epoch advancer with the given period
+// (nbMontage uses tens of milliseconds). Stop() halts it.
+func (es *EpochSys) Start(period time.Duration) {
+	es.stop = make(chan struct{})
+	es.done = make(chan struct{})
+	go func() {
+		defer close(es.done)
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-es.stop:
+				return
+			case <-t.C:
+				es.Advance()
+			}
+		}
+	}()
+}
+
+// Stop halts the background advancer.
+func (es *EpochSys) Stop() {
+	if es.stop != nil {
+		close(es.stop)
+		<-es.done
+		es.stop = nil
+	}
+}
+
+// txCtx is the per-transaction epoch context stored in Session.TxData.
+type txCtx struct {
+	epoch uint64
+	slot  *atomic.Uint64
+}
+
+// Attach wires the epoch system into a TxManager, turning Medley
+// transactions on attached structures into txMontage transactions: TxBegin
+// pins the current epoch and registers the epoch validator; transaction end
+// releases the pin.
+func Attach(mgr *core.TxManager, es *EpochSys) {
+	slotFor := func(s *core.Session) *atomic.Uint64 {
+		// Sessions are single-goroutine, so the cached slot needs no lock.
+		if sl, ok := s.Ext.(*atomic.Uint64); ok {
+			return sl
+		}
+		sl := es.registerSession()
+		s.Ext = sl
+		return sl
+	}
+	mgr.SetBeginHook(func(s *core.Session) {
+		sl := slotFor(s)
+		e := es.Current()
+		sl.Store(e)
+		s.TxData = &txCtx{epoch: e, slot: sl}
+		s.Desc().AddValidator(func() bool { return es.Current() == e })
+	})
+	mgr.SetEndHook(func(s *core.Session, committed bool) {
+		if ctx, ok := s.TxData.(*txCtx); ok {
+			ctx.slot.Store(0)
+		}
+	})
+}
+
+// TxEpoch returns the epoch the session's current transaction is pinned to,
+// or the current epoch when outside a transaction.
+func (es *EpochSys) TxEpoch(s *core.Session) uint64 {
+	if s != nil && s.InTx() {
+		if ctx, ok := s.TxData.(*txCtx); ok {
+			return ctx.epoch
+		}
+	}
+	return es.Current()
+}

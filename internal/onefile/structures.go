@@ -1,0 +1,265 @@
+package onefile
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+// The data structures below are deliberately *sequential* algorithms
+// "parallelized using STM", exactly as the paper describes its OneFile
+// baselines (Section 6.1: "a sequential chained hash table parallelized
+// using STM"; skiplists "derived from Fraser's STM-based skiplist"). All
+// mutable fields are atomics so that optimistic readers racing with the
+// single active writer never perform torn or racy reads; reader-visible
+// inconsistency is caught by the STM's sequence validation and retried.
+//
+// Every mutating method must be called inside STM.WriteTx; every reading
+// method either inside WriteTx (sees own writes) or inside ReadTx.
+
+const maxLevel = 20
+
+// SkipList is a sequential skiplist managed by a OneFile-lite STM.
+type SkipList[V any] struct {
+	st   *STM
+	head *ofnode[V]
+}
+
+type ofnode[V any] struct {
+	key   uint64
+	val   atomic.Pointer[V]
+	next  []atomic.Pointer[ofnode[V]]
+	level int
+}
+
+// NewSkipList creates an empty skiplist bound to st.
+func NewSkipList[V any](st *STM) *SkipList[V] {
+	return &SkipList[V]{
+		st:   st,
+		head: &ofnode[V]{next: make([]atomic.Pointer[ofnode[V]], maxLevel), level: maxLevel - 1},
+	}
+}
+
+// STM returns the owning transaction manager.
+func (sl *SkipList[V]) STM() *STM { return sl.st }
+
+func (sl *SkipList[V]) findPreds(k uint64, preds *[maxLevel]*ofnode[V]) *ofnode[V] {
+	x := sl.head
+	for lvl := maxLevel - 1; lvl >= 0; lvl-- {
+		for {
+			nxt := x.next[lvl].Load()
+			if nxt == nil || nxt.key >= k {
+				break
+			}
+			x = nxt
+		}
+		preds[lvl] = x
+	}
+	c := x.next[0].Load()
+	if c != nil && c.key == k {
+		return c
+	}
+	return nil
+}
+
+// Get returns the value bound to k, if any.
+func (sl *SkipList[V]) Get(k uint64) (V, bool) {
+	var preds [maxLevel]*ofnode[V]
+	if c := sl.findPreds(k, &preds); c != nil {
+		if vp := c.val.Load(); vp != nil {
+			return *vp, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put binds k to v (WriteTx only).
+func (sl *SkipList[V]) Put(k uint64, v V) (V, bool) {
+	var preds [maxLevel]*ofnode[V]
+	if c := sl.findPreds(k, &preds); c != nil {
+		old := c.val.Load()
+		c.val.Store(&v)
+		sl.st.LogUndo(func() { c.val.Store(old) })
+		return *old, true
+	}
+	sl.link(k, v, &preds)
+	var zero V
+	return zero, false
+}
+
+// Insert adds k→v only if absent (WriteTx only).
+func (sl *SkipList[V]) Insert(k uint64, v V) bool {
+	var preds [maxLevel]*ofnode[V]
+	if sl.findPreds(k, &preds) != nil {
+		return false
+	}
+	sl.link(k, v, &preds)
+	return true
+}
+
+func (sl *SkipList[V]) link(k uint64, v V, preds *[maxLevel]*ofnode[V]) {
+	lvl := bits.TrailingZeros64(rand.Uint64() | (1 << (maxLevel - 1)))
+	nn := &ofnode[V]{key: k, next: make([]atomic.Pointer[ofnode[V]], lvl+1), level: lvl}
+	nn.val.Store(&v)
+	for i := 0; i <= lvl; i++ {
+		nn.next[i].Store(preds[i].next[i].Load())
+		preds[i].next[i].Store(nn)
+	}
+	sl.st.LogUndo(func() {
+		for i := 0; i <= lvl; i++ {
+			preds[i].next[i].Store(nn.next[i].Load())
+		}
+	})
+}
+
+// Remove deletes k (WriteTx only).
+func (sl *SkipList[V]) Remove(k uint64) (V, bool) {
+	var preds [maxLevel]*ofnode[V]
+	c := sl.findPreds(k, &preds)
+	if c == nil {
+		var zero V
+		return zero, false
+	}
+	for i := 0; i <= c.level; i++ {
+		if preds[i].next[i].Load() == c {
+			preds[i].next[i].Store(c.next[i].Load())
+		}
+	}
+	sl.st.LogUndo(func() {
+		for i := 0; i <= c.level; i++ {
+			if preds[i].next[i].Load() == c.next[i].Load() {
+				preds[i].next[i].Store(c)
+			}
+		}
+	})
+	return *c.val.Load(), true
+}
+
+// Len counts keys (diagnostic; call inside a transaction for a stable view).
+func (sl *SkipList[V]) Len() int {
+	n := 0
+	for c := sl.head.next[0].Load(); c != nil; c = c.next[0].Load() {
+		n++
+	}
+	return n
+}
+
+// Hash is a sequential chained hash table managed by a OneFile-lite STM.
+type Hash[V any] struct {
+	st      *STM
+	buckets []atomic.Pointer[hnode[V]]
+}
+
+type hnode[V any] struct {
+	key  uint64
+	val  atomic.Pointer[V]
+	next atomic.Pointer[hnode[V]]
+}
+
+// NewHash creates a hash table with nbuckets chains bound to st.
+func NewHash[V any](st *STM, nbuckets int) *Hash[V] {
+	if nbuckets < 1 {
+		nbuckets = 1
+	}
+	return &Hash[V]{st: st, buckets: make([]atomic.Pointer[hnode[V]], nbuckets)}
+}
+
+// STM returns the owning transaction manager.
+func (h *Hash[V]) STM() *STM { return h.st }
+
+func mix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+func (h *Hash[V]) bucket(k uint64) *atomic.Pointer[hnode[V]] {
+	return &h.buckets[mix64(k)%uint64(len(h.buckets))]
+}
+
+// Get returns the value bound to k, if any.
+func (h *Hash[V]) Get(k uint64) (V, bool) {
+	for c := h.bucket(k).Load(); c != nil; c = c.next.Load() {
+		if c.key == k {
+			if vp := c.val.Load(); vp != nil {
+				return *vp, true
+			}
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put binds k to v (WriteTx only).
+func (h *Hash[V]) Put(k uint64, v V) (V, bool) {
+	for c := h.bucket(k).Load(); c != nil; c = c.next.Load() {
+		if c.key == k {
+			old := c.val.Load()
+			c.val.Store(&v)
+			h.st.LogUndo(func() { c.val.Store(old) })
+			return *old, true
+		}
+	}
+	b := h.bucket(k)
+	nn := &hnode[V]{key: k}
+	nn.val.Store(&v)
+	nn.next.Store(b.Load())
+	b.Store(nn)
+	h.st.LogUndo(func() { b.Store(nn.next.Load()) })
+	var zero V
+	return zero, false
+}
+
+// Insert adds k→v only if absent (WriteTx only).
+func (h *Hash[V]) Insert(k uint64, v V) bool {
+	for c := h.bucket(k).Load(); c != nil; c = c.next.Load() {
+		if c.key == k {
+			return false
+		}
+	}
+	b := h.bucket(k)
+	nn := &hnode[V]{key: k}
+	nn.val.Store(&v)
+	nn.next.Store(b.Load())
+	b.Store(nn)
+	h.st.LogUndo(func() { b.Store(nn.next.Load()) })
+	return true
+}
+
+// Remove deletes k (WriteTx only).
+func (h *Hash[V]) Remove(k uint64) (V, bool) {
+	b := h.bucket(k)
+	var prev *hnode[V]
+	for c := b.Load(); c != nil; c = c.next.Load() {
+		if c.key == k {
+			succ := c.next.Load()
+			if prev == nil {
+				b.Store(succ)
+				h.st.LogUndo(func() { b.Store(c) })
+			} else {
+				p := prev
+				p.next.Store(succ)
+				h.st.LogUndo(func() { p.next.Store(c) })
+			}
+			return *c.val.Load(), true
+		}
+		prev = c
+	}
+	var zero V
+	return zero, false
+}
+
+// Len counts keys (diagnostic; call inside a transaction for a stable view).
+func (h *Hash[V]) Len() int {
+	n := 0
+	for i := range h.buckets {
+		for c := h.buckets[i].Load(); c != nil; c = c.next.Load() {
+			n++
+		}
+	}
+	return n
+}

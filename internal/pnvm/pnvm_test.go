@@ -1,0 +1,125 @@
+package pnvm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWriteRecoverRoundTrip(t *testing.T) {
+	d := New(Latencies{})
+	id, err := d.Write(1, []byte{42}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.WriteBack(id)
+	d.Fence()
+	d.Crash()
+	recs := d.Recover()
+	if len(recs) != 1 || recs[0].Key != 1 || recs[0].Val[0] != 42 {
+		t.Fatalf("recovered %+v", recs)
+	}
+}
+
+func TestUnflushedWritesLostOnCrash(t *testing.T) {
+	d := New(Latencies{})
+	d.Write(1, []byte{1}, 3)
+	id2, _ := d.Write(2, []byte{2}, 3)
+	d.WriteBack(id2)
+	d.Crash()
+	recs := d.Recover()
+	if len(recs) != 1 || recs[0].Key != 2 {
+		t.Fatalf("recovered %+v, want only key 2", recs)
+	}
+}
+
+func TestRetireSemantics(t *testing.T) {
+	d := New(Latencies{})
+	id, _ := d.Write(1, []byte{1}, 3)
+	d.WriteBack(id)
+	// Retire without write-back: lost on crash, record resurrects.
+	d.Retire(id, 4, 77)
+	d.Crash()
+	recs := d.Recover()
+	if len(recs) != 1 || recs[0].Retire != 0 {
+		t.Fatalf("unflushed retire persisted: %+v", recs)
+	}
+	// Retire with write-back: survives.
+	d.Retire(id, 5, 78)
+	d.WriteBack(id)
+	d.Crash()
+	recs = d.Recover()
+	if len(recs) != 1 || recs[0].Retire != 5 {
+		t.Fatalf("flushed retire lost: %+v", recs)
+	}
+}
+
+func TestUnRetireClaimGuard(t *testing.T) {
+	d := New(Latencies{})
+	id, _ := d.Write(1, []byte{1}, 3)
+	d.Retire(id, 4, 100)
+	// A different claim must not clear the mark.
+	d.UnRetire(id, 999)
+	d.WriteBack(id)
+	d.Crash()
+	recs := d.Recover()
+	if recs[0].Retire != 4 {
+		t.Fatal("foreign claim cleared retire mark")
+	}
+	// The owning claim may clear it (fresh mark first).
+	d.Retire(id, 6, 101)
+	d.UnRetire(id, 101)
+	d.WriteBack(id)
+	d.Crash()
+	recs = d.Recover()
+	if recs[0].Retire != 0 {
+		t.Fatal("owner could not clear its own retire mark")
+	}
+}
+
+func TestDeleteRemovesRecord(t *testing.T) {
+	d := New(Latencies{})
+	id, _ := d.Write(1, []byte{1}, 3)
+	d.WriteBack(id)
+	d.Delete(id)
+	if d.Live() != 0 {
+		t.Fatal("record survived delete")
+	}
+	d.Crash()
+	if recs := d.Recover(); len(recs) != 0 {
+		t.Fatalf("deleted record recovered: %+v", recs)
+	}
+}
+
+func TestCrashedDeviceRejectsWrites(t *testing.T) {
+	d := New(Latencies{})
+	d.Crash()
+	if _, err := d.Write(1, nil, 3); err != ErrCrashed {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	d.Recover()
+	if _, err := d.Write(1, nil, 3); err != nil {
+		t.Fatalf("write after recover: %v", err)
+	}
+}
+
+func TestLatencyIsCharged(t *testing.T) {
+	d := New(Latencies{WriteBack: 200 * time.Microsecond})
+	id, _ := d.Write(1, nil, 3)
+	t0 := time.Now()
+	d.WriteBack(id)
+	if el := time.Since(t0); el < 150*time.Microsecond {
+		t.Fatalf("write-back took %v, latency not modelled", el)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	d := New(Latencies{})
+	id, _ := d.Write(1, nil, 3)
+	d.Retire(id, 4, 1)
+	d.WriteBack(id)
+	d.Fence()
+	w, wb, f := d.Stats()
+	if w != 2 || wb != 1 || f != 1 {
+		t.Fatalf("stats = %d,%d,%d", w, wb, f)
+	}
+}

@@ -1,0 +1,358 @@
+package fskiplist
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"medley/internal/core"
+)
+
+func newSession() *core.Session { return core.NewTxManager().Session() }
+
+func TestEmpty(t *testing.T) {
+	sl := New[int, string]()
+	s := newSession()
+	if _, ok := sl.Get(s, 1); ok {
+		t.Fatal("found key in empty list")
+	}
+	if _, ok := sl.Remove(s, 1); ok {
+		t.Fatal("removed from empty list")
+	}
+	if sl.Len() != 0 {
+		t.Fatal("len != 0")
+	}
+}
+
+func TestInsertGetRemove(t *testing.T) {
+	sl := New[int, string]()
+	s := newSession()
+	if !sl.Insert(s, 5, "five") {
+		t.Fatal("insert failed")
+	}
+	if sl.Insert(s, 5, "again") {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if v, ok := sl.Get(s, 5); !ok || v != "five" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	if v, ok := sl.Remove(s, 5); !ok || v != "five" {
+		t.Fatalf("Remove = %q,%v", v, ok)
+	}
+	if _, ok := sl.Get(s, 5); ok {
+		t.Fatal("key present after remove")
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	sl := New[int, int]()
+	s := newSession()
+	if _, replaced := sl.Put(s, 1, 10); replaced {
+		t.Fatal("fresh put replaced")
+	}
+	old, replaced := sl.Put(s, 1, 11)
+	if !replaced || old != 10 {
+		t.Fatalf("Put = %d,%v", old, replaced)
+	}
+	if v, _ := sl.Get(s, 1); v != 11 {
+		t.Fatalf("Get = %d", v)
+	}
+	if sl.Len() != 1 {
+		t.Fatalf("Len = %d (replacement duplicated the key)", sl.Len())
+	}
+}
+
+func TestSortedOrderManyKeys(t *testing.T) {
+	sl := New[int, int]()
+	s := newSession()
+	perm := rand.Perm(2000)
+	for _, k := range perm {
+		sl.Insert(s, k, k*3)
+	}
+	ks := sl.Keys()
+	if len(ks) != 2000 {
+		t.Fatalf("len = %d", len(ks))
+	}
+	if !sort.IntsAreSorted(ks) {
+		t.Fatal("keys not sorted")
+	}
+	for _, k := range perm[:100] {
+		if v, ok := sl.Get(s, k); !ok || v != k*3 {
+			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestSequentialModelProperty(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+		Val  int
+	}
+	f := func(ops []op) bool {
+		sl := New[uint8, int]()
+		s := newSession()
+		model := map[uint8]int{}
+		for _, o := range ops {
+			switch o.Kind % 4 {
+			case 0:
+				mv, mok := model[o.Key]
+				v, ok := sl.Get(s, o.Key)
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			case 1:
+				_, mok := model[o.Key]
+				if sl.Insert(s, o.Key, o.Val) == mok {
+					return false
+				}
+				if !mok {
+					model[o.Key] = o.Val
+				}
+			case 2:
+				mv, mok := model[o.Key]
+				old, replaced := sl.Put(s, o.Key, o.Val)
+				if replaced != mok || (replaced && old != mv) {
+					return false
+				}
+				model[o.Key] = o.Val
+			case 3:
+				mv, mok := model[o.Key]
+				v, ok := sl.Remove(s, o.Key)
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+				delete(model, o.Key)
+			}
+		}
+		return sl.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	sl := New[int, int]()
+	mgr := core.NewTxManager()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := mgr.Session()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 4000; i++ {
+				k := rng.Intn(256)
+				switch rng.Intn(3) {
+				case 0:
+					sl.Put(s, k, k*7)
+				case 1:
+					if v, ok := sl.Get(s, k); ok && v != k*7 {
+						t.Errorf("Get(%d) = %d", k, v)
+					}
+				case 2:
+					sl.Remove(s, k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	ks := sl.Keys()
+	if !sort.IntsAreSorted(ks) {
+		t.Fatal("unsorted after churn")
+	}
+	seen := map[int]bool{}
+	for _, k := range ks {
+		if seen[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		seen[k] = true
+	}
+}
+
+// Regression for the stale-read hole: read-modify-write transactions on a
+// single key must never lose updates (the linearizing read must validate the
+// victim's liveness, not just the predecessor link).
+func TestNoLostUpdatesSingleKey(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		mgr := core.NewTxManager()
+		sl := New[uint64, int]()
+		setup := mgr.Session()
+		sl.Put(setup, 1, 1_000_000)
+		var committed atomic.Int64
+		const workers = 8
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s := mgr.Session()
+				for i := 0; i < 400; i++ {
+					if s.Run(func() error {
+						v, ok := sl.Get(s, 1)
+						if !ok {
+							return core.ErrTxAborted
+						}
+						sl.Put(s, 1, v-1)
+						return nil
+					}) == nil {
+						committed.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		v, _ := sl.Get(setup, 1)
+		if want := 1_000_000 - int(committed.Load()); v != want {
+			t.Fatalf("round %d: value %d, want %d", round, v, want)
+		}
+	}
+}
+
+func TestTxReadsOwnWrites(t *testing.T) {
+	mgr := core.NewTxManager()
+	sl := New[int, int]()
+	s := mgr.Session()
+	err := s.Run(func() error {
+		if !sl.Insert(s, 1, 10) {
+			return core.ErrTxAborted
+		}
+		if v, ok := sl.Get(s, 1); !ok || v != 10 {
+			t.Errorf("own insert invisible: %d,%v", v, ok)
+		}
+		if old, replaced := sl.Put(s, 1, 11); !replaced || old != 10 {
+			t.Errorf("own update wrong: %d,%v", old, replaced)
+		}
+		if v, _ := sl.Get(s, 1); v != 11 {
+			t.Errorf("own update invisible: %d", v)
+		}
+		if v, ok := sl.Remove(s, 1); !ok || v != 11 {
+			t.Errorf("own remove wrong: %d,%v", v, ok)
+		}
+		if _, ok := sl.Get(s, 1); ok {
+			t.Error("key visible after own remove")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Len() != 0 {
+		t.Fatalf("Len = %d", sl.Len())
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	mgr := core.NewTxManager()
+	sl := New[int, int]()
+	s := mgr.Session()
+	sl.Insert(s, 1, 10)
+	sl.Insert(s, 2, 20)
+
+	s.TxBegin()
+	sl.Put(s, 1, 99)
+	sl.Remove(s, 2)
+	sl.Insert(s, 3, 30)
+	s.TxAbort()
+
+	if v, _ := sl.Get(s, 1); v != 10 {
+		t.Fatalf("aborted put visible: %d", v)
+	}
+	if _, ok := sl.Get(s, 2); !ok {
+		t.Fatal("aborted remove took effect")
+	}
+	if _, ok := sl.Get(s, 3); ok {
+		t.Fatal("aborted insert visible")
+	}
+}
+
+func TestConcurrentTransfersPreserveTotal(t *testing.T) {
+	mgr := core.NewTxManager()
+	sl1 := New[uint64, int]()
+	sl2 := New[uint64, int]()
+	setup := mgr.Session()
+	const accounts = 16
+	for a := uint64(0); a < accounts; a++ {
+		sl1.Put(setup, a, 1000)
+		sl2.Put(setup, a, 1000)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := mgr.Session()
+			rng := rand.New(rand.NewSource(int64(w) * 13))
+			for i := 0; i < 600; i++ {
+				a1 := uint64(rng.Intn(accounts))
+				a2 := uint64(rng.Intn(accounts))
+				src, dst := sl1, sl2
+				if rng.Intn(2) == 0 {
+					src, dst = sl2, sl1
+				}
+				_ = s.Run(func() error {
+					v1, ok := src.Get(s, a1)
+					if !ok || v1 < 1 {
+						return nil
+					}
+					v2, _ := dst.Get(s, a2)
+					src.Put(s, a1, v1-1)
+					dst.Put(s, a2, v2+1)
+					return nil
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	s := mgr.Session()
+	for a := uint64(0); a < accounts; a++ {
+		v1, _ := sl1.Get(s, a)
+		v2, _ := sl2.Get(s, a)
+		total += v1 + v2
+	}
+	if total != accounts*2000 {
+		t.Fatalf("total = %d, want %d", total, accounts*2000)
+	}
+}
+
+func TestUpperLevelsEventuallyLinked(t *testing.T) {
+	sl := New[int, int]()
+	s := newSession()
+	for k := 0; k < 5000; k++ {
+		sl.Insert(s, k, k)
+	}
+	// Count nodes linked above level 0 from the head tower: with geometric
+	// towers over 5000 keys, upper levels must be populated.
+	linked := 0
+	for lvl := 1; lvl < MaxLevel; lvl++ {
+		if sl.head.next[lvl].Load().n != nil {
+			linked++
+		}
+	}
+	if linked < 5 {
+		t.Fatalf("only %d upper levels populated; express lanes missing", linked)
+	}
+}
+
+func TestRangeOrder(t *testing.T) {
+	sl := New[int, int]()
+	s := newSession()
+	for _, k := range []int{4, 1, 3, 2} {
+		sl.Insert(s, k, k)
+	}
+	var got []int
+	sl.Range(func(k, v int) bool { got = append(got, k); return true })
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range order = %v", got)
+		}
+	}
+}

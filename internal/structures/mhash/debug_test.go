@@ -1,0 +1,51 @@
+package mhash
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"medley/internal/core"
+)
+
+// Focused reproducer: a single account, concurrent read-modify-write
+// transactions. Committed decrements must exactly match the value delta.
+func TestLostUpdateSingleAccount(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		mgr := core.NewTxManager()
+		m := NewUint64[int](1) // single bucket: maximum contention
+		setup := mgr.Session()
+		m.Put(setup, 1, 1_000_000)
+
+		var committed atomic.Int64
+		const workers = 8
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				s := mgr.Session()
+				for i := 0; i < 500; i++ {
+					err := s.Run(func() error {
+						v, ok := m.Get(s, 1)
+						if !ok {
+							return core.ErrTxAborted
+						}
+						m.Put(s, 1, v-1)
+						return nil
+					})
+					if err == nil {
+						committed.Add(1)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		v, _ := m.Get(setup, 1)
+		want := 1_000_000 - int(committed.Load())
+		if v != want {
+			t.Fatalf("round %d: value = %d, want %d (lost %d updates)",
+				round, v, want, v-want)
+		}
+	}
+}

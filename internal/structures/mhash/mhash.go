@@ -1,0 +1,95 @@
+// Package mhash implements Michael's lock-free chained hash table (Michael,
+// SPAA 2002) with NBTC-transformed bucket lists, matching the transactional
+// hash table used throughout the Medley paper's evaluation (Figs. 2, 3, 7).
+// Each bucket is a Michael ordered list from package mlist; all
+// transactional machinery lives there.
+package mhash
+
+import (
+	"cmp"
+
+	"medley/internal/core"
+	"medley/internal/structures/mlist"
+)
+
+// Map is a fixed-capacity chained hash table. The zero value is not usable;
+// construct with New.
+type Map[K cmp.Ordered, V any] struct {
+	buckets []mlist.List[K, V]
+	hash    func(K) uint64
+}
+
+// New creates a hash table with nbuckets chains (rounded up to one) using
+// the given hash function. The paper's benchmarks use 1M buckets for a 1M
+// key space.
+func New[K cmp.Ordered, V any](nbuckets int, hash func(K) uint64) *Map[K, V] {
+	if nbuckets < 1 {
+		nbuckets = 1
+	}
+	return &Map[K, V]{
+		buckets: make([]mlist.List[K, V], nbuckets),
+		hash:    hash,
+	}
+}
+
+// NewUint64 creates a hash table keyed by uint64 using a Fibonacci/mix hash.
+func NewUint64[V any](nbuckets int) *Map[uint64, V] {
+	return New[uint64, V](nbuckets, Mix64)
+}
+
+// Mix64 is a 64-bit finalizer-style hash (splitmix64 finalization) suitable
+// for integer keys.
+func Mix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+func (m *Map[K, V]) bucket(k K) *mlist.List[K, V] {
+	return &m.buckets[m.hash(k)%uint64(len(m.buckets))]
+}
+
+// Get returns the value bound to k, if any.
+func (m *Map[K, V]) Get(s *core.Session, k K) (V, bool) { return m.bucket(k).Get(s, k) }
+
+// Contains reports whether k is present.
+func (m *Map[K, V]) Contains(s *core.Session, k K) bool { return m.bucket(k).Contains(s, k) }
+
+// Put binds k to v; it returns the previous value if k was present.
+func (m *Map[K, V]) Put(s *core.Session, k K, v V) (V, bool) { return m.bucket(k).Put(s, k, v) }
+
+// Insert adds k→v only if absent, reporting whether insertion happened.
+func (m *Map[K, V]) Insert(s *core.Session, k K, v V) bool { return m.bucket(k).Insert(s, k, v) }
+
+// Remove deletes k, returning its value if present.
+func (m *Map[K, V]) Remove(s *core.Session, k K) (V, bool) { return m.bucket(k).Remove(s, k) }
+
+// Len counts present keys. Diagnostic, non-linearizable.
+func (m *Map[K, V]) Len() int {
+	n := 0
+	for i := range m.buckets {
+		n += m.buckets[i].Len()
+	}
+	return n
+}
+
+// Range calls f for every present pair until f returns false. Diagnostic,
+// non-linearizable.
+func (m *Map[K, V]) Range(f func(K, V) bool) {
+	for i := range m.buckets {
+		stop := false
+		m.buckets[i].Range(func(k K, v V) bool {
+			if !f(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}

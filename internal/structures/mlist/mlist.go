@@ -1,0 +1,245 @@
+// Package mlist implements Michael's lock-free ordered linked list (Michael,
+// SPAA 2002), NBTC-transformed per Section 3.1 of the Medley paper so that
+// its operations can take part in Medley transactions. It is the substrate
+// for the chained hash table of package mhash and follows the transformed
+// code of the paper's Fig. 2:
+//
+//   - Critical loads and CASes go through CASObj.NbtcLoad / NbtcCAS.
+//   - The linearizing load of a read operation is registered with
+//     Session.AddToReadSet.
+//   - Post-critical cleanup (physical unlinking of replaced or removed
+//     nodes) is registered with Session.AddToCleanups so that it executes
+//     after commit (or immediately, when called outside a transaction).
+//
+// Keys are ordered; values are immutable per node (updates replace the node,
+// exactly as in the paper: the new node is inserted as the marked victim's
+// successor in one CAS, which is both linearization and publication point).
+package mlist
+
+import (
+	"cmp"
+
+	"medley/internal/core"
+)
+
+// node is a list node. key and val never change after insertion; all
+// mutation happens through next.
+type node[K cmp.Ordered, V any] struct {
+	key  K
+	val  V
+	next core.CASObj[Ref[K, V]]
+}
+
+// Ref is a marked reference: the successor pointer plus the logical-deletion
+// mark of the containing node (Harris-style). It is the CASObj value type of
+// every next pointer.
+type Ref[K cmp.Ordered, V any] struct {
+	n      *node[K, V]
+	marked bool
+}
+
+// List is a lock-free ordered map from K to V supporting transactional
+// composition. The zero value is an empty list.
+type List[K cmp.Ordered, V any] struct {
+	head core.CASObj[Ref[K, V]]
+}
+
+// New returns an empty list.
+func New[K cmp.Ordered, V any]() *List[K, V] { return &List[K, V]{} }
+
+// find locates the first node with key >= k. It returns the predecessor
+// CASObj (through which curr was reached), the ReadTag of the load that
+// observed curr, curr itself (nil if the list tail was reached), the ReadTag
+// of the load that observed curr's successor, curr's successor reference at
+// observation time, and whether curr.key == k. Marked nodes encountered
+// along the way are physically unlinked (helping already-linearized
+// removals; these CASes execute plainly unless they touch this
+// transaction's own speculative state, per Def. 3 of the paper).
+//
+// Read outcomes concerning a present key must validate BOTH returned tags:
+// the predecessor link (prev -> curr) establishes reachability, and the
+// successor load (curr.next unmarked) establishes that curr is not
+// logically deleted. A replacement (Put) marks curr.next at its
+// linearization point and fixes prev only in post-commit cleanup, so
+// validating prev alone would let a concurrent read-modify-write commit
+// against a stale value.
+func (l *List[K, V]) find(s *core.Session, k K) (prev *core.CASObj[Ref[K, V]], ptag core.ReadTag, curr *node[K, V], ctag core.ReadTag, nxt Ref[K, V], found bool) {
+retry:
+	prev = &l.head
+	pref, ptag0 := prev.NbtcLoad(s)
+	ptag = ptag0
+	curr = pref.n
+	for curr != nil {
+		cref, ctag0 := curr.next.NbtcLoad(s)
+		if cref.marked {
+			// curr is logically deleted; snip it out. The replacement
+			// successor is cref.n (for value updates this is the new node
+			// carrying the same key).
+			if !prev.NbtcCAS(s, Ref[K, V]{curr, false}, Ref[K, V]{cref.n, false}, false, false) {
+				goto retry
+			}
+			pref2, ptag2 := prev.NbtcLoad(s)
+			want := Ref[K, V]{cref.n, false}
+			if pref2 != want {
+				goto retry
+			}
+			ptag = ptag2
+			curr = cref.n
+			continue
+		}
+		if curr.key >= k {
+			return prev, ptag, curr, ctag0, cref, curr.key == k
+		}
+		prev, ptag = &curr.next, ctag0
+		curr = cref.n
+	}
+	return prev, ptag, nil, nil, Ref[K, V]{}, false
+}
+
+// Get returns the value bound to k, if any. Inside a transaction the
+// linearizing load is added to the read set for commit-time validation
+// (invisible readers; no shared-memory writes on the read path).
+func (l *List[K, V]) Get(s *core.Session, k K) (V, bool) {
+	s.OpStart()
+	prev, ptag, curr, ctag, _, found := l.find(s, k)
+	s.AddToReadSet(prev, ptag)
+	if found {
+		// Presence additionally depends on curr remaining unmarked.
+		s.AddToReadSet(&curr.next, ctag)
+		return curr.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether k is present.
+func (l *List[K, V]) Contains(s *core.Session, k K) bool {
+	_, ok := l.Get(s, k)
+	return ok
+}
+
+// Put binds k to v, returning the previous value if k was present. The
+// update path follows the paper's Fig. 2: the new node is published as the
+// marked successor of the node it replaces in a single CAS (linearization
+// and publication point); unlinking the victim is post-critical cleanup.
+func (l *List[K, V]) Put(s *core.Session, k K, v V) (old V, replaced bool) {
+	s.OpStart()
+	nn := &node[K, V]{key: k, val: v}
+	for {
+		prev, _, curr, _, nxt, found := l.find(s, k)
+		if found { // replace
+			nn.next.Store(Ref[K, V]{nxt.n, false})
+			if curr.next.NbtcCAS(s, Ref[K, V]{nxt.n, false}, Ref[K, V]{nn, true}, true, true) {
+				old = curr.val
+				l.deferUnlink(s, prev, curr, nn)
+				return old, true
+			}
+			continue
+		}
+		// insert before curr
+		nn.next.Store(Ref[K, V]{curr, false})
+		if prev.NbtcCAS(s, Ref[K, V]{curr, false}, Ref[K, V]{nn, false}, true, true) {
+			var zero V
+			return zero, false
+		}
+	}
+}
+
+// Insert adds k→v only if k is absent; it reports whether insertion
+// happened. A failed insert is a read-only outcome and linearizes at the
+// load that observed the existing node.
+func (l *List[K, V]) Insert(s *core.Session, k K, v V) bool {
+	s.OpStart()
+	nn := &node[K, V]{key: k, val: v}
+	for {
+		prev, ptag, curr, ctag, _, found := l.find(s, k)
+		if found {
+			s.AddToReadSet(prev, ptag)
+			s.AddToReadSet(&curr.next, ctag)
+			return false
+		}
+		nn.next.Store(Ref[K, V]{curr, false})
+		if prev.NbtcCAS(s, Ref[K, V]{curr, false}, Ref[K, V]{nn, false}, true, true) {
+			return true
+		}
+	}
+}
+
+// Remove deletes k, returning its value if it was present. The linearization
+// point is the marking CAS on the victim's next pointer; physical unlinking
+// is post-critical cleanup. A failed remove linearizes at the load that
+// observed k's absence.
+func (l *List[K, V]) Remove(s *core.Session, k K) (V, bool) {
+	s.OpStart()
+	for {
+		prev, ptag, curr, _, nxt, found := l.find(s, k)
+		if !found {
+			s.AddToReadSet(prev, ptag)
+			var zero V
+			return zero, false
+		}
+		if curr.next.NbtcCAS(s, Ref[K, V]{nxt.n, false}, Ref[K, V]{nxt.n, true}, true, true) {
+			l.deferUnlink(s, prev, curr, nxt.n)
+			return curr.val, true
+		}
+	}
+}
+
+// deferUnlink registers the post-critical physical unlink of victim,
+// replacing it with succ in prev; if the direct CAS fails, a plain find
+// sweeps the victim out. Runs after commit (or immediately outside a
+// transaction), matching the cleanup lambda of the paper's Fig. 2.
+func (l *List[K, V]) deferUnlink(s *core.Session, prev *core.CASObj[Ref[K, V]], victim *node[K, V], succ *node[K, V]) {
+	k := victim.key
+	s.AddToCleanups(func() {
+		if prev.CAS(Ref[K, V]{victim, false}, Ref[K, V]{succ, false}) {
+			s.TRetire(victim)
+		} else {
+			l.find(nil, k) // generic helping path snips it
+		}
+	})
+}
+
+// Len counts the unmarked nodes. It is a non-linearizable diagnostic
+// traversal intended for tests and examples.
+func (l *List[K, V]) Len() int {
+	n := 0
+	ref := l.head.Load()
+	for nd := ref.n; nd != nil; {
+		nref := nd.next.Load()
+		if !nref.marked {
+			n++
+		}
+		nd = nref.n
+	}
+	return n
+}
+
+// Keys returns the keys of all unmarked nodes in order. Diagnostic only.
+func (l *List[K, V]) Keys() []K {
+	var ks []K
+	ref := l.head.Load()
+	for nd := ref.n; nd != nil; {
+		nref := nd.next.Load()
+		if !nref.marked {
+			ks = append(ks, nd.key)
+		}
+		nd = nref.n
+	}
+	return ks
+}
+
+// Range calls f on each present key/value pair in key order until f returns
+// false. Non-linearizable diagnostic traversal.
+func (l *List[K, V]) Range(f func(K, V) bool) {
+	ref := l.head.Load()
+	for nd := ref.n; nd != nil; {
+		nref := nd.next.Load()
+		if !nref.marked {
+			if !f(nd.key, nd.val) {
+				return
+			}
+		}
+		nd = nref.n
+	}
+}

@@ -1,0 +1,225 @@
+package rskiplist
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"medley/internal/core"
+)
+
+func newSession() *core.Session { return core.NewTxManager().Session() }
+
+func TestBasicOps(t *testing.T) {
+	sl := New[string]()
+	s := newSession()
+	if _, ok := sl.Get(s, 1); ok {
+		t.Fatal("empty list had key")
+	}
+	if !sl.Insert(s, 1, "one") {
+		t.Fatal("insert failed")
+	}
+	if sl.Insert(s, 1, "dup") {
+		t.Fatal("dup insert succeeded")
+	}
+	if v, ok := sl.Get(s, 1); !ok || v != "one" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	old, replaced := sl.Put(s, 1, "uno")
+	if !replaced || old != "one" {
+		t.Fatalf("Put = %q,%v", old, replaced)
+	}
+	if v, ok := sl.Remove(s, 1); !ok || v != "uno" {
+		t.Fatalf("Remove = %q,%v", v, ok)
+	}
+	if sl.Len() != 0 {
+		t.Fatal("not empty")
+	}
+}
+
+func TestDeterministicHeights(t *testing.T) {
+	// The same key must always get the same height (the rotating list's
+	// stable index shape).
+	for k := uint64(0); k < 1000; k++ {
+		if heightOf(k) != heightOf(k) {
+			t.Fatal("height not deterministic")
+		}
+		if h := heightOf(k); h < 0 || h >= WheelSize {
+			t.Fatalf("height %d out of range", h)
+		}
+	}
+}
+
+func TestSortedOrder(t *testing.T) {
+	sl := New[int]()
+	s := newSession()
+	perm := rand.Perm(3000)
+	for _, k := range perm {
+		sl.Insert(s, uint64(k), k)
+	}
+	ks := sl.Keys()
+	if len(ks) != 3000 {
+		t.Fatalf("len = %d", len(ks))
+	}
+	if !sort.SliceIsSorted(ks, func(i, j int) bool { return ks[i] < ks[j] }) {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestModelProperty(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+		Val  int
+	}
+	f := func(ops []op) bool {
+		sl := New[int]()
+		s := newSession()
+		model := map[uint64]int{}
+		for _, o := range ops {
+			k := uint64(o.Key)
+			switch o.Kind % 4 {
+			case 0:
+				mv, mok := model[k]
+				v, ok := sl.Get(s, k)
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			case 1:
+				_, mok := model[k]
+				if sl.Insert(s, k, o.Val) == mok {
+					return false
+				}
+				if !mok {
+					model[k] = o.Val
+				}
+			case 2:
+				mv, mok := model[k]
+				old, rep := sl.Put(s, k, o.Val)
+				if rep != mok || (rep && old != mv) {
+					return false
+				}
+				model[k] = o.Val
+			case 3:
+				mv, mok := model[k]
+				v, ok := sl.Remove(s, k)
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+				delete(model, k)
+			}
+		}
+		return sl.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentChurnAndTransfers(t *testing.T) {
+	mgr := core.NewTxManager()
+	a := New[int]()
+	b := New[int]()
+	setup := mgr.Session()
+	const accounts = 16
+	for k := uint64(0); k < accounts; k++ {
+		a.Put(setup, k, 1000)
+		b.Put(setup, k, 1000)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := mgr.Session()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 500; i++ {
+				k1 := uint64(rng.Intn(accounts))
+				k2 := uint64(rng.Intn(accounts))
+				src, dst := a, b
+				if rng.Intn(2) == 0 {
+					src, dst = b, a
+				}
+				_ = s.Run(func() error {
+					v1, ok := src.Get(s, k1)
+					if !ok || v1 < 1 {
+						return nil
+					}
+					v2, _ := dst.Get(s, k2)
+					src.Put(s, k1, v1-1)
+					dst.Put(s, k2, v2+1)
+					return nil
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for k := uint64(0); k < accounts; k++ {
+		v1, _ := a.Get(setup, k)
+		v2, _ := b.Get(setup, k)
+		total += v1 + v2
+	}
+	if total != accounts*2000 {
+		t.Fatalf("total = %d, want %d", total, accounts*2000)
+	}
+}
+
+func TestNoLostUpdates(t *testing.T) {
+	mgr := core.NewTxManager()
+	sl := New[int]()
+	setup := mgr.Session()
+	sl.Put(setup, 7, 1_000_000)
+	var committed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := mgr.Session()
+			for i := 0; i < 400; i++ {
+				if s.Run(func() error {
+					v, ok := sl.Get(s, 7)
+					if !ok {
+						return core.ErrTxAborted
+					}
+					sl.Put(s, 7, v-1)
+					return nil
+				}) == nil {
+					committed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, _ := sl.Get(setup, 7)
+	if want := 1_000_000 - int(committed.Load()); v != want {
+		t.Fatalf("value %d want %d", v, want)
+	}
+}
+
+func TestTxComposition(t *testing.T) {
+	mgr := core.NewTxManager()
+	sl := New[int]()
+	s := mgr.Session()
+	err := s.Run(func() error {
+		sl.Insert(s, 1, 10)
+		if v, ok := sl.Get(s, 1); !ok || v != 10 {
+			t.Errorf("own insert invisible: %d,%v", v, ok)
+		}
+		sl.Put(s, 1, 11)
+		if v, ok := sl.Remove(s, 1); !ok || v != 11 {
+			t.Errorf("own remove wrong: %d,%v", v, ok)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Len() != 0 {
+		t.Fatal("not empty after insert+remove tx")
+	}
+}

@@ -1,0 +1,272 @@
+package tpcc
+
+import (
+	"errors"
+
+	"medley/internal/core"
+	"medley/internal/montage"
+	"medley/internal/onefile"
+	"medley/internal/pnvm"
+	"medley/internal/structures/fskiplist"
+	"medley/internal/tdsl"
+	"medley/internal/txmap"
+)
+
+// errUserAbort is the no-retry abort used by Handle.Abort implementations.
+var errUserAbort = errors.New("tpcc: business abort")
+
+// ------------------------------------------------------- Medley/txMontage --
+
+// MedleyStore runs TPC-C over Medley skiplists (one per table), optionally
+// with txMontage persistence when constructed via NewTxMontageStore.
+type MedleyStore struct {
+	name   string
+	mgr    *core.TxManager
+	tables [NumTables]txmap.Map[any]
+	es     *montage.EpochSys
+}
+
+// NewMedleyStore creates the transient Medley store (skiplist tables).
+func NewMedleyStore() *MedleyStore {
+	st := &MedleyStore{name: "Medley", mgr: core.NewTxManager()}
+	for i := range st.tables {
+		st.tables[i] = fskiplist.New[uint64, any]()
+	}
+	return st
+}
+
+// NewTxMontageStore creates the persistent txMontage store: Medley indices
+// over NVM payloads with epoch-based periodic persistence.
+func NewTxMontageStore(lat pnvm.Latencies) *MedleyStore {
+	st := &MedleyStore{name: "txMontage", mgr: core.NewTxManager()}
+	es := montage.NewEpochSys(pnvm.New(lat))
+	montage.Attach(st.mgr, es)
+	st.es = es
+	codec := rowCodec()
+	for i := range st.tables {
+		st.tables[i] = montage.NewSkipMap(es, codec)
+	}
+	return st
+}
+
+// EpochSys exposes the montage epoch system (nil for the transient store).
+func (st *MedleyStore) EpochSys() *montage.EpochSys { return st.es }
+
+// Name implements Store.
+func (st *MedleyStore) Name() string { return st.name }
+
+// Close implements Store.
+func (st *MedleyStore) Close() {}
+
+// NewWorker implements Store.
+func (st *MedleyStore) NewWorker(tid int) Worker {
+	return &medleyWorker{st: st, s: st.mgr.Session()}
+}
+
+type medleyWorker struct {
+	st *MedleyStore
+	s  *core.Session
+}
+
+type medleyHandle struct {
+	w *medleyWorker
+}
+
+func (w *medleyWorker) RunTx(fn func(h Handle) error) error {
+	err := w.s.Run(func() error { return fn(medleyHandle{w}) })
+	if errors.Is(err, errUserAbort) {
+		return nil // deliberate rollback: counted as completed work
+	}
+	return err
+}
+
+func (h medleyHandle) Get(t Table, k uint64) (any, bool) {
+	return h.w.st.tables[t].Get(h.w.s, k)
+}
+func (h medleyHandle) Put(t Table, k uint64, v any) {
+	h.w.st.tables[t].Put(h.w.s, k, v)
+}
+func (h medleyHandle) Insert(t Table, k uint64, v any) bool {
+	return h.w.st.tables[t].Insert(h.w.s, k, v)
+}
+func (h medleyHandle) Abort() error {
+	h.w.s.TxAbort()
+	return errUserAbort
+}
+
+// ----------------------------------------------------------------- OneFile --
+
+// OneFileStore runs TPC-C over OneFile-lite skiplists.
+type OneFileStore struct {
+	name   string
+	st     *onefile.STM
+	tables [NumTables]*onefile.SkipList[any]
+}
+
+// NewOneFileStore creates the transient OneFile store.
+func NewOneFileStore() *OneFileStore {
+	s := &OneFileStore{name: "OneFile", st: onefile.New()}
+	for i := range s.tables {
+		s.tables[i] = onefile.NewSkipList[any](s.st)
+	}
+	return s
+}
+
+// NewPOneFileStore creates the eagerly-persistent POneFile store.
+func NewPOneFileStore(lat pnvm.Latencies) *OneFileStore {
+	s := &OneFileStore{name: "POneFile", st: onefile.NewPersistent(pnvm.New(lat))}
+	for i := range s.tables {
+		s.tables[i] = onefile.NewSkipList[any](s.st)
+	}
+	return s
+}
+
+// Name implements Store.
+func (s *OneFileStore) Name() string { return s.name }
+
+// Close implements Store.
+func (s *OneFileStore) Close() {}
+
+// NewWorker implements Store.
+func (s *OneFileStore) NewWorker(tid int) Worker { return &onefileWorker{st: s} }
+
+type onefileWorker struct{ st *OneFileStore }
+
+type onefileHandle struct{ st *OneFileStore }
+
+func (w *onefileWorker) RunTx(fn func(h Handle) error) error {
+	err := w.st.st.WriteTx(func() error { return fn(onefileHandle{w.st}) })
+	if errors.Is(err, errUserAbort) {
+		return nil
+	}
+	return err
+}
+
+func (h onefileHandle) Get(t Table, k uint64) (any, bool) { return h.st.tables[t].Get(k) }
+func (h onefileHandle) Put(t Table, k uint64, v any)      { h.st.tables[t].Put(k, v) }
+func (h onefileHandle) Insert(t Table, k uint64, v any) bool {
+	return h.st.tables[t].Insert(k, v)
+}
+func (h onefileHandle) Abort() error { return errUserAbort }
+
+// -------------------------------------------------------------------- TDSL --
+
+// TDSLStore runs TPC-C over TDSL-lite maps.
+type TDSLStore struct {
+	tm     *tdsl.TM
+	tables [NumTables]*tdsl.Map[any]
+}
+
+// NewTDSLStore creates the TDSL store.
+func NewTDSLStore() *TDSLStore {
+	s := &TDSLStore{tm: tdsl.NewTM()}
+	for i := range s.tables {
+		s.tables[i] = tdsl.NewMap[any](512)
+	}
+	return s
+}
+
+// Name implements Store.
+func (s *TDSLStore) Name() string { return "TDSL" }
+
+// Close implements Store.
+func (s *TDSLStore) Close() {}
+
+// NewWorker implements Store.
+func (s *TDSLStore) NewWorker(tid int) Worker { return &tdslWorker{st: s} }
+
+type tdslWorker struct{ st *TDSLStore }
+
+type tdslHandle struct {
+	st *TDSLStore
+	tx *tdsl.Tx
+}
+
+func (w *tdslWorker) RunTx(fn func(h Handle) error) error {
+	err := w.st.tm.Run(func(tx *tdsl.Tx) error { return fn(tdslHandle{w.st, tx}) })
+	if errors.Is(err, errUserAbort) {
+		return nil
+	}
+	return err
+}
+
+func (h tdslHandle) Get(t Table, k uint64) (any, bool) { return h.st.tables[t].Get(h.tx, k) }
+func (h tdslHandle) Put(t Table, k uint64, v any)      { h.st.tables[t].Put(h.tx, k, v) }
+func (h tdslHandle) Insert(t Table, k uint64, v any) bool {
+	return h.st.tables[t].Insert(h.tx, k, v)
+}
+func (h tdslHandle) Abort() error { return errUserAbort }
+
+// ------------------------------------------------------------- row codec --
+
+// rowCodec encodes the row structs into NVM payload bytes for txMontage.
+// Rows are small fixed shapes, so a one-byte tag plus little-endian fields
+// suffices; decoding is exercised by recovery tests.
+func rowCodec() montage.Codec[any] {
+	put := func(b []byte, vs ...uint64) []byte {
+		for _, v := range vs {
+			for i := 0; i < 8; i++ {
+				b = append(b, byte(v>>(8*i)))
+			}
+		}
+		return b
+	}
+	get := func(b []byte, i int) uint64 {
+		var v uint64
+		for j := 0; j < 8; j++ {
+			v |= uint64(b[1+i*8+j]) << (8 * j)
+		}
+		return v
+	}
+	return montage.Codec[any]{
+		Enc: func(v any) []byte {
+			switch r := v.(type) {
+			case *Warehouse:
+				return put([]byte{0}, r.YTD, r.Tax)
+			case *District:
+				return put([]byte{1}, r.NextOID, r.YTD, r.Tax)
+			case *Customer:
+				return put([]byte{2}, uint64(r.Balance), r.YTDPayment, r.PaymentCnt)
+			case *Stock:
+				return put([]byte{3}, uint64(r.Quantity), r.YTD, r.OrderCnt)
+			case *Item:
+				return put([]byte{4}, r.Price)
+			case *Order:
+				return put([]byte{5}, r.CID, r.OLCnt)
+			case *NewOrderRow:
+				return []byte{6}
+			case *OrderLine:
+				return put([]byte{7}, r.IID, r.Qty, r.Amount)
+			case *History:
+				return put([]byte{8}, r.Amount)
+			}
+			return nil
+		},
+		Dec: func(b []byte) any {
+			if len(b) == 0 {
+				return nil
+			}
+			switch b[0] {
+			case 0:
+				return &Warehouse{YTD: get(b, 0), Tax: get(b, 1)}
+			case 1:
+				return &District{NextOID: get(b, 0), YTD: get(b, 1), Tax: get(b, 2)}
+			case 2:
+				return &Customer{Balance: int64(get(b, 0)), YTDPayment: get(b, 1), PaymentCnt: get(b, 2)}
+			case 3:
+				return &Stock{Quantity: int64(get(b, 0)), YTD: get(b, 1), OrderCnt: get(b, 2)}
+			case 4:
+				return &Item{Price: get(b, 0)}
+			case 5:
+				return &Order{CID: get(b, 0), OLCnt: get(b, 1)}
+			case 6:
+				return &NewOrderRow{}
+			case 7:
+				return &OrderLine{IID: get(b, 0), Qty: get(b, 1), Amount: get(b, 2)}
+			case 8:
+				return &History{Amount: get(b, 0)}
+			}
+			return nil
+		},
+	}
+}

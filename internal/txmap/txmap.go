@@ -1,0 +1,21 @@
+// Package txmap defines the common transactional map interface implemented
+// by every key-value structure in this repository (Medley hash table,
+// skiplists, BST, the montage persistent maps, and the OneFile / TDSL / LFTT
+// baseline adapters used by the benchmark harness).
+package txmap
+
+import "medley/internal/core"
+
+// Map is a transactional map from uint64 keys to V. All operations are
+// usable both inside a Medley transaction (on a session between TxBegin and
+// TxEnd) and standalone.
+type Map[V any] interface {
+	// Get returns the value bound to k, if any.
+	Get(s *core.Session, k uint64) (V, bool)
+	// Put binds k to v, returning the previous value if k was present.
+	Put(s *core.Session, k uint64, v V) (V, bool)
+	// Insert adds k→v only if absent, reporting whether insertion happened.
+	Insert(s *core.Session, k uint64, v V) bool
+	// Remove deletes k, returning its value if present.
+	Remove(s *core.Session, k uint64) (V, bool)
+}

@@ -1,0 +1,251 @@
+package medley_test
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"medley"
+	"medley/internal/core"
+)
+
+// The facade integration tests exercise cross-structure transactions over
+// every public structure type, as a downstream user would.
+
+func TestFacadeAllStructuresCompose(t *testing.T) {
+	mgr := medley.NewTxManager()
+	hm := medley.NewHashMap[uint64](256)
+	sl := medley.NewSkipListMap[uint64, uint64]()
+	rs := medley.NewRotatingSkipListMap[uint64]()
+	bst := medley.NewBSTMap[uint64]()
+	q := medley.NewQueue[uint64]()
+
+	s := mgr.Session()
+	// One transaction touching five different structures of four different
+	// abstraction families.
+	err := s.Run(func() error {
+		hm.Put(s, 1, 100)
+		sl.Put(s, 1, 200)
+		rs.Put(s, 1, 300)
+		bst.Put(s, 1, 400)
+		q.Enqueue(s, 500)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		got  func() (uint64, bool)
+		want uint64
+	}{
+		{"hash", func() (uint64, bool) { return hm.Get(s, 1) }, 100},
+		{"skip", func() (uint64, bool) { return sl.Get(s, 1) }, 200},
+		{"rot", func() (uint64, bool) { return rs.Get(s, 1) }, 300},
+		{"bst", func() (uint64, bool) { return bst.Get(s, 1) }, 400},
+		{"queue", func() (uint64, bool) { return q.Dequeue(s) }, 500},
+	} {
+		v, ok := tc.got()
+		if !ok || v != tc.want {
+			t.Fatalf("%s = %d,%v want %d", tc.name, v, ok, tc.want)
+		}
+	}
+}
+
+func TestFacadeAbortSpansAllStructures(t *testing.T) {
+	mgr := medley.NewTxManager()
+	hm := medley.NewHashMap[uint64](64)
+	sl := medley.NewSkipListMap[uint64, uint64]()
+	bst := medley.NewBSTMap[uint64]()
+	q := medley.NewQueue[uint64]()
+	s := mgr.Session()
+
+	s.TxBegin()
+	hm.Put(s, 1, 1)
+	sl.Put(s, 2, 2)
+	bst.Put(s, 3, 3)
+	q.Enqueue(s, 4)
+	s.TxAbort()
+
+	if _, ok := hm.Get(s, 1); ok {
+		t.Fatal("hash write survived abort")
+	}
+	if _, ok := sl.Get(s, 2); ok {
+		t.Fatal("skip write survived abort")
+	}
+	if _, ok := bst.Get(s, 3); ok {
+		t.Fatal("bst write survived abort")
+	}
+	if q.Len() != 0 {
+		t.Fatal("enqueue survived abort")
+	}
+}
+
+// Token ring across four different structure types: a token moves
+// hash → skip → bst → queue → hash …; at every quiescent point exactly one
+// structure holds it.
+func TestFacadeTokenRingAtomicity(t *testing.T) {
+	mgr := medley.NewTxManager()
+	hm := medley.NewHashMap[uint64](64)
+	sl := medley.NewSkipListMap[uint64, uint64]()
+	bst := medley.NewBSTMap[uint64]()
+	q := medley.NewQueue[uint64]()
+	s0 := mgr.Session()
+	hm.Put(s0, 7, 1) // token starts in the hash map
+
+	step := func(s *medley.Session) {
+		_ = s.Run(func() error {
+			if v, ok := hm.Remove(s, 7); ok {
+				sl.Put(s, 7, v)
+				return nil
+			}
+			if v, ok := sl.Remove(s, 7); ok {
+				bst.Put(s, 7, v)
+				return nil
+			}
+			if v, ok := bst.Remove(s, 7); ok {
+				q.Enqueue(s, v)
+				return nil
+			}
+			if v, ok := q.Dequeue(s); ok {
+				hm.Put(s, 7, v)
+				return nil
+			}
+			// Token in flight in another transaction: retry.
+			return core.ErrTxAborted
+		})
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := mgr.Session()
+			for i := 0; i < 200; i++ {
+				step(s)
+			}
+		}()
+	}
+	wg.Wait()
+
+	holders := 0
+	if _, ok := hm.Get(s0, 7); ok {
+		holders++
+	}
+	if _, ok := sl.Get(s0, 7); ok {
+		holders++
+	}
+	if _, ok := bst.Get(s0, 7); ok {
+		holders++
+	}
+	holders += q.Len()
+	if holders != 1 {
+		t.Fatalf("token held by %d structures, want exactly 1", holders)
+	}
+}
+
+func TestFacadeOrderedHashMapCustomKeys(t *testing.T) {
+	mgr := medley.NewTxManager()
+	hm := medley.NewOrderedHashMap[string, int](64, func(s string) uint64 {
+		var h uint64 = 1469598103934665603
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		return h
+	})
+	s := mgr.Session()
+	hm.Put(s, "alice", 1)
+	hm.Put(s, "bob", 2)
+	err := s.Run(func() error {
+		a, _ := hm.Get(s, "alice")
+		b, _ := hm.Get(s, "bob")
+		hm.Put(s, "alice", a+b)
+		hm.Put(s, "bob", 0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := hm.Get(s, "alice"); v != 3 {
+		t.Fatalf("alice = %d", v)
+	}
+}
+
+func TestFacadeRunPropagatesUserErrors(t *testing.T) {
+	mgr := medley.NewTxManager()
+	hm := medley.NewHashMap[uint64](16)
+	s := mgr.Session()
+	boom := errors.New("boom")
+	calls := 0
+	err := s.Run(func() error {
+		calls++
+		hm.Put(s, 1, 1)
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	if _, ok := hm.Get(s, 1); ok {
+		t.Fatal("failed tx leaked a write")
+	}
+}
+
+// Mixed-structure stress with invariant: total value across a hash map and
+// a BST stays constant under concurrent cross-structure transfers.
+func TestFacadeCrossStructureTransfersStress(t *testing.T) {
+	mgr := medley.NewTxManager()
+	hm := medley.NewHashMap[int](256)
+	bst := medley.NewBSTMap[int]()
+	s0 := mgr.Session()
+	const accounts = 24
+	for a := uint64(0); a < accounts; a++ {
+		hm.Put(s0, a, 500)
+		bst.Put(s0, a, 500)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			s := mgr.Session()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 400; i++ {
+				a := uint64(rng.Intn(accounts))
+				b := uint64(rng.Intn(accounts))
+				toBST := rng.Intn(2) == 0
+				_ = s.Run(func() error {
+					if toBST {
+						v, ok := hm.Get(s, a)
+						if !ok || v < 1 {
+							return nil
+						}
+						w, _ := bst.Get(s, b)
+						hm.Put(s, a, v-1)
+						bst.Put(s, b, w+1)
+					} else {
+						v, ok := bst.Get(s, a)
+						if !ok || v < 1 {
+							return nil
+						}
+						w, _ := hm.Get(s, b)
+						bst.Put(s, a, v-1)
+						hm.Put(s, b, w+1)
+					}
+					return nil
+				})
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	total := 0
+	for a := uint64(0); a < accounts; a++ {
+		v, _ := hm.Get(s0, a)
+		w, _ := bst.Get(s0, a)
+		total += v + w
+	}
+	if total != accounts*1000 {
+		t.Fatalf("total = %d, want %d", total, accounts*1000)
+	}
+}
