@@ -17,6 +17,7 @@ import (
 	"medley/internal/core"
 	"medley/internal/pnvm"
 	"medley/internal/tpcc"
+	"medley/internal/txengine"
 )
 
 // benchScale keeps preloads fast; cmd/medleybench runs paper scale.
@@ -29,6 +30,15 @@ var ratios = []struct {
 	{"0:1:1", 0, 1, 1},
 	{"2:1:1", 2, 1, 1},
 	{"18:1:1", 18, 1, 1},
+}
+
+func mkSystem(b *testing.B, engine string, kind txengine.MapKind, wl bench.Workload, opt bench.Options) bench.System {
+	b.Helper()
+	sys, err := bench.NewSystem(engine, kind, wl, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
 }
 
 func runSystem(b *testing.B, sys bench.System, wl bench.Workload) {
@@ -70,12 +80,12 @@ func BenchmarkFig7(b *testing.B) {
 	lat := pnvm.DefaultLatencies()
 	for _, r := range ratios {
 		wl := bench.PaperWorkload(r.g, r.i, r.r, benchScale)
-		b.Run("Medley/"+r.name, func(b *testing.B) { runSystem(b, bench.NewMedleyHash(wl), wl) })
-		b.Run("txMontage/"+r.name, func(b *testing.B) {
-			runSystem(b, bench.NewTxMontageHash(wl, lat, 10*time.Millisecond), wl)
-		})
-		b.Run("OneFile/"+r.name, func(b *testing.B) { runSystem(b, bench.NewOneFileHash(wl), wl) })
-		b.Run("POneFile/"+r.name, func(b *testing.B) { runSystem(b, bench.NewPOneFileHash(wl, lat), wl) })
+		opt := bench.Options{Latencies: lat, EpochLen: 10 * time.Millisecond}
+		for _, name := range bench.TxSystemsFor(txengine.KindHash) {
+			b.Run(name+"/"+r.name, func(b *testing.B) {
+				runSystem(b, mkSystem(b, name, txengine.KindHash, wl, opt), wl)
+			})
+		}
 	}
 }
 
@@ -84,14 +94,12 @@ func BenchmarkFig8(b *testing.B) {
 	lat := pnvm.DefaultLatencies()
 	for _, r := range ratios {
 		wl := bench.PaperWorkload(r.g, r.i, r.r, benchScale)
-		b.Run("Medley/"+r.name, func(b *testing.B) { runSystem(b, bench.NewMedleySkip(wl), wl) })
-		b.Run("txMontage/"+r.name, func(b *testing.B) {
-			runSystem(b, bench.NewTxMontageSkip(wl, lat, 10*time.Millisecond), wl)
-		})
-		b.Run("OneFile/"+r.name, func(b *testing.B) { runSystem(b, bench.NewOneFileSkip(wl), wl) })
-		b.Run("POneFile/"+r.name, func(b *testing.B) { runSystem(b, bench.NewPOneFileSkip(wl, lat), wl) })
-		b.Run("TDSL/"+r.name, func(b *testing.B) { runSystem(b, bench.NewTDSLSkip(wl), wl) })
-		b.Run("LFTT/"+r.name, func(b *testing.B) { runSystem(b, bench.NewLFTTSkip(wl), wl) })
+		opt := bench.Options{Latencies: lat, EpochLen: 10 * time.Millisecond}
+		for _, name := range bench.TxSystemsFor(txengine.KindSkip) {
+			b.Run(name+"/"+r.name, func(b *testing.B) {
+				runSystem(b, mkSystem(b, name, txengine.KindSkip, wl, opt), wl)
+			})
+		}
 	}
 }
 
@@ -100,22 +108,13 @@ func BenchmarkFig8(b *testing.B) {
 func BenchmarkFig9(b *testing.B) {
 	lat := pnvm.DefaultLatencies()
 	cfg := tpcc.DefaultConfig(2)
-	stores := []struct {
-		name string
-		mk   func() tpcc.Store
-	}{
-		{"Medley", func() tpcc.Store { return tpcc.NewMedleyStore() }},
-		{"txMontage", func() tpcc.Store {
-			st := tpcc.NewTxMontageStore(lat)
-			st.EpochSys().Start(10 * time.Millisecond)
-			return st
-		}},
-		{"OneFile", func() tpcc.Store { return tpcc.NewOneFileStore() }},
-		{"TDSL", func() tpcc.Store { return tpcc.NewTDSLStore() }},
-	}
-	for _, ms := range stores {
-		b.Run(ms.name, func(b *testing.B) {
-			st := ms.mk()
+	opt := tpcc.StoreOptions{Latencies: lat, EpochLen: 10 * time.Millisecond}
+	for _, name := range tpcc.DefaultEngines() {
+		b.Run(name, func(b *testing.B) {
+			st, err := tpcc.NewStore(name, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
 			tpcc.Load(st, cfg)
 			var tid atomic.Int64
 			b.ResetTimer()
@@ -133,9 +132,6 @@ func BenchmarkFig9(b *testing.B) {
 				}
 			})
 			b.StopTimer()
-			if m, ok := st.(*tpcc.MedleyStore); ok && m.EpochSys() != nil {
-				m.EpochSys().Stop()
-			}
 			st.Close()
 		})
 	}
@@ -146,9 +142,15 @@ func BenchmarkFig9(b *testing.B) {
 func BenchmarkFig10a(b *testing.B) {
 	for _, r := range ratios {
 		wl := bench.PaperWorkload(r.g, r.i, r.r, benchScale)
-		b.Run("Original/"+r.name, func(b *testing.B) { runSystemNoTx(b, bench.NewOriginalSkip(wl), wl) })
-		b.Run("TxOff/"+r.name, func(b *testing.B) { runSystemNoTx(b, bench.NewMedleySkip(wl), wl) })
-		b.Run("TxOn/"+r.name, func(b *testing.B) { runSystem(b, bench.NewMedleySkip(wl), wl) })
+		b.Run("Original/"+r.name, func(b *testing.B) {
+			runSystemNoTx(b, mkSystem(b, "original", txengine.KindSkip, wl, bench.Options{}), wl)
+		})
+		b.Run("TxOff/"+r.name, func(b *testing.B) {
+			runSystemNoTx(b, mkSystem(b, "medley", txengine.KindSkip, wl, bench.Options{}), wl)
+		})
+		b.Run("TxOn/"+r.name, func(b *testing.B) {
+			runSystem(b, mkSystem(b, "medley", txengine.KindSkip, wl, bench.Options{}), wl)
+		})
 	}
 }
 
@@ -158,11 +160,12 @@ func BenchmarkFig10b(b *testing.B) {
 	lat := pnvm.Latencies{Write: pnvm.DefaultLatencies().Write}
 	for _, r := range ratios {
 		wl := bench.PaperWorkload(r.g, r.i, r.r, benchScale)
+		opt := bench.Options{Latencies: lat, EpochLen: time.Hour}
 		b.Run("TxOff/"+r.name, func(b *testing.B) {
-			runSystemNoTx(b, bench.NewTxMontageSkip(wl, lat, time.Hour), wl)
+			runSystemNoTx(b, mkSystem(b, "txmontage", txengine.KindSkip, wl, opt), wl)
 		})
 		b.Run("TxOn/"+r.name, func(b *testing.B) {
-			runSystem(b, bench.NewTxMontageSkip(wl, lat, time.Hour), wl)
+			runSystem(b, mkSystem(b, "txmontage", txengine.KindSkip, wl, opt), wl)
 		})
 	}
 }
@@ -172,11 +175,12 @@ func BenchmarkFig10c(b *testing.B) {
 	lat := pnvm.DefaultLatencies()
 	for _, r := range ratios {
 		wl := bench.PaperWorkload(r.g, r.i, r.r, benchScale)
+		opt := bench.Options{Latencies: lat, EpochLen: 10 * time.Millisecond}
 		b.Run("TxOff/"+r.name, func(b *testing.B) {
-			runSystemNoTx(b, bench.NewTxMontageSkip(wl, lat, 10*time.Millisecond), wl)
+			runSystemNoTx(b, mkSystem(b, "txmontage", txengine.KindSkip, wl, opt), wl)
 		})
 		b.Run("TxOn/"+r.name, func(b *testing.B) {
-			runSystem(b, bench.NewTxMontageSkip(wl, lat, 10*time.Millisecond), wl)
+			runSystem(b, mkSystem(b, "txmontage", txengine.KindSkip, wl, opt), wl)
 		})
 	}
 }
@@ -186,9 +190,15 @@ func BenchmarkFig10c(b *testing.B) {
 func BenchmarkOverheadSingleOp(b *testing.B) {
 	wl := bench.PaperWorkload(1, 1, 1, benchScale)
 	wl.MinOps, wl.MaxOps = 1, 1
-	b.Run("Original", func(b *testing.B) { runSystemNoTx(b, bench.NewOriginalSkip(wl), wl) })
-	b.Run("TxOff", func(b *testing.B) { runSystemNoTx(b, bench.NewMedleySkip(wl), wl) })
-	b.Run("TxOn", func(b *testing.B) { runSystem(b, bench.NewMedleySkip(wl), wl) })
+	b.Run("Original", func(b *testing.B) {
+		runSystemNoTx(b, mkSystem(b, "original", txengine.KindSkip, wl, bench.Options{}), wl)
+	})
+	b.Run("TxOff", func(b *testing.B) {
+		runSystemNoTx(b, mkSystem(b, "medley", txengine.KindSkip, wl, bench.Options{}), wl)
+	})
+	b.Run("TxOn", func(b *testing.B) {
+		runSystem(b, mkSystem(b, "medley", txengine.KindSkip, wl, bench.Options{}), wl)
+	})
 }
 
 // --------------------------------------------------------------- ablation --

@@ -1,13 +1,16 @@
 // Command medleybench regenerates the microbenchmark figures of the Medley
 // paper (PPoPP 2023): hash-table throughput (Figure 7), skiplist throughput
-// (Figure 8), and skiplist latency (Figure 10).
+// (Figure 8), and skiplist latency (Figure 10). Backends are resolved by
+// name through the internal/txengine registry; -systems selects a subset.
 //
 // Examples:
 //
 //	medleybench -figure 7                 # hash tables, all three ratios
 //	medleybench -figure 8 -ratio 2:1:1    # skiplists, one ratio
+//	medleybench -figure 8 -systems medley,lftt
+//	medleybench -figure 7 -systems boost  # the boosted lock-based map
 //	medleybench -figure 10                # latency: Original / TxOff / TxOn
-//	medleybench -figure 7 -dur 5s -scale 1.0 -threads 1,2,4,8,16
+//	medleybench -list                     # registered engines
 //
 // Scale 1.0 reproduces the paper's 1M-key / 0.5M-preload configuration;
 // the default 0.1 keeps runs laptop-sized. Shapes, not absolute numbers,
@@ -25,80 +28,71 @@ import (
 
 	"medley/internal/bench"
 	"medley/internal/pnvm"
+	"medley/internal/txengine"
 )
 
 func main() {
 	figure := flag.String("figure", "7", "7 | 8 | 10 (also 10a/10b/10c)")
 	ratio := flag.String("ratio", "", "get:insert:remove ratio (default: all of 0:1:1, 2:1:1, 18:1:1)")
+	systemsFlag := flag.String("systems", "", "comma-separated engine names (default: every capable engine; see -list)")
+	list := flag.Bool("list", false, "list registered engines and exit")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default: host sweep)")
 	dur := flag.Duration("dur", 2*time.Second, "measurement duration per point")
 	scale := flag.Float64("scale", 0.1, "keyspace scale (1.0 = paper's 1M keys)")
 	epochLen := flag.Duration("epoch", 10*time.Millisecond, "txMontage epoch length")
 	flag.Parse()
 
-	ratios := [][3]int{{0, 1, 1}, {2, 1, 1}, {18, 1, 1}}
-	if *ratio != "" {
-		parts := strings.Split(*ratio, ":")
-		if len(parts) != 3 {
-			fmt.Fprintln(os.Stderr, "bad -ratio; want g:i:r")
-			os.Exit(2)
+	if *list {
+		for _, b := range txengine.Builders() {
+			fmt.Printf("%-10s %s\n", b.Key, b.Doc)
 		}
-		var r [3]int
-		for i, p := range parts {
-			v, err := strconv.Atoi(p)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "bad -ratio:", err)
-				os.Exit(2)
-			}
-			r[i] = v
-		}
-		ratios = [][3]int{r}
+		return
 	}
 
-	threads := bench.DefaultThreadSweep()
-	if *threadsFlag != "" {
-		threads = nil
-		for _, p := range strings.Split(*threadsFlag, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(p))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "bad -threads:", err)
-				os.Exit(2)
-			}
-			threads = append(threads, v)
-		}
-	}
-
-	lat := pnvm.DefaultLatencies()
+	ratios := parseRatios(*ratio)
+	threads := parseThreads(*threadsFlag)
+	opt := bench.Options{Latencies: pnvm.DefaultLatencies(), EpochLen: *epochLen}
 	fmt.Printf("# host: GOMAXPROCS=%d; scale=%.2f; dur=%v\n", runtime.GOMAXPROCS(0), *scale, *dur)
 
 	switch *figure {
 	case "7", "8":
+		kind := txengine.KindHash
+		figName := "Figure 7 (hash tables)"
+		if *figure == "8" {
+			kind = txengine.KindSkip
+			figName = "Figure 8 (skiplists)"
+		}
+		systems := bench.TxSystemsFor(kind)
+		if *systemsFlag != "" {
+			systems = splitList(*systemsFlag)
+		}
+		// Fail fast on bad selections, before any measurement sweep runs.
+		for _, name := range systems {
+			b, ok := txengine.Lookup(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown engine %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			if !b.Caps.Has(txengine.CapTx) {
+				fmt.Fprintf(os.Stderr, "engine %q supports no transactions; it only appears in -figure 10's Original mode\n", name)
+				os.Exit(2)
+			}
+			mapCap := txengine.CapHashMap
+			if kind == txengine.KindSkip {
+				mapCap = txengine.CapSkipMap
+			}
+			if !b.Caps.Has(mapCap) {
+				fmt.Fprintf(os.Stderr, "engine %q has no %v map (figure %s needs one)\n", name, kind, *figure)
+				os.Exit(2)
+			}
+		}
 		for _, r := range ratios {
 			wl := bench.PaperWorkload(r[0], r[1], r[2], *scale)
-			var mk []func() bench.System
-			if *figure == "7" {
-				mk = []func() bench.System{
-					func() bench.System { return bench.NewMedleyHash(wl) },
-					func() bench.System { return bench.NewTxMontageHash(wl, lat, *epochLen) },
-					func() bench.System { return bench.NewOneFileHash(wl) },
-					func() bench.System { return bench.NewPOneFileHash(wl, lat) },
-				}
-				fmt.Printf("\n## Figure 7 (hash tables), get:insert:remove = %s\n", wl.Ratio())
-			} else {
-				mk = []func() bench.System{
-					func() bench.System { return bench.NewMedleySkip(wl) },
-					func() bench.System { return bench.NewTxMontageSkip(wl, lat, *epochLen) },
-					func() bench.System { return bench.NewOneFileSkip(wl) },
-					func() bench.System { return bench.NewPOneFileSkip(wl, lat) },
-					func() bench.System { return bench.NewTDSLSkip(wl) },
-					func() bench.System { return bench.NewLFTTSkip(wl) },
-				}
-				fmt.Printf("\n## Figure 8 (skiplists), get:insert:remove = %s\n", wl.Ratio())
-			}
+			fmt.Printf("\n## %s, get:insert:remove = %s\n", figName, wl.Ratio())
 			fmt.Printf("%-16s %8s %14s\n", "system", "threads", "txn/s")
-			for _, newSys := range mk {
+			for _, name := range systems {
 				for _, th := range threads {
-					sys := newSys()
+					sys := mustSystem(name, kind, wl, opt)
 					res := bench.RunThroughput(sys, wl, th, *dur)
 					sys.Close()
 					fmt.Printf("%-16s %8d %14.0f\n", res.System, res.Threads, res.Throughput)
@@ -106,14 +100,77 @@ func main() {
 			}
 		}
 	case "10", "10a", "10b", "10c":
-		runLatency(*figure, ratios, *scale, *dur, lat, *epochLen)
+		if *systemsFlag != "" {
+			// The latency figure's series (Original / Medley / txMontage per
+			// panel) is fixed by the paper's methodology.
+			fmt.Fprintln(os.Stderr, "-systems does not apply to -figure 10; its series is fixed (Original, Medley, txMontage)")
+			os.Exit(2)
+		}
+		runLatency(*figure, ratios, *scale, *dur, opt)
 	default:
 		fmt.Fprintln(os.Stderr, "unknown -figure; want 7, 8, or 10")
 		os.Exit(2)
 	}
 }
 
-func runLatency(fig string, ratios [][3]int, scale float64, dur time.Duration, lat pnvm.Latencies, epochLen time.Duration) {
+func parseRatios(ratio string) [][3]int {
+	ratios := [][3]int{{0, 1, 1}, {2, 1, 1}, {18, 1, 1}}
+	if ratio == "" {
+		return ratios
+	}
+	parts := strings.Split(ratio, ":")
+	if len(parts) != 3 {
+		fmt.Fprintln(os.Stderr, "bad -ratio; want g:i:r")
+		os.Exit(2)
+	}
+	var r [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bad -ratio:", err)
+			os.Exit(2)
+		}
+		r[i] = v
+	}
+	return [][3]int{r}
+}
+
+func parseThreads(threadsFlag string) []int {
+	if threadsFlag == "" {
+		return bench.DefaultThreadSweep()
+	}
+	var threads []int
+	for _, p := range splitList(threadsFlag) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bad -threads:", err)
+			os.Exit(2)
+		}
+		threads = append(threads, v)
+	}
+	return threads
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func mustSystem(name string, kind txengine.MapKind, wl bench.Workload, opt bench.Options) bench.System {
+	sys, err := bench.NewSystem(name, kind, wl, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	return sys
+}
+
+func runLatency(fig string, ratios [][3]int, scale float64, dur time.Duration, opt bench.Options) {
 	// The paper measures at 40 threads (half the hyperthreads); use half of
 	// GOMAXPROCS here.
 	th := runtime.GOMAXPROCS(0) / 2
@@ -126,12 +183,12 @@ func runLatency(fig string, ratios [][3]int, scale float64, dur time.Duration, l
 		wl := bench.PaperWorkload(r[0], r[1], r[2], scale)
 		if fig == "10" || fig == "10a" {
 			// (a) DRAM: Original vs TxOff vs TxOn on the transient Medley list.
-			o := bench.NewOriginalSkip(wl)
+			o := mustSystem("original", txengine.KindSkip, wl, bench.Options{})
 			res := bench.RunLatency(o, wl, bench.ModeOriginal, th, dur)
 			fmt.Printf("%-10s %-10s %-10s %12.0f\n", "10a", "Original", wl.Ratio(), res.NsPerTx)
 			o.Close()
 			for _, mode := range []bench.LatencyMode{bench.ModeTxOff, bench.ModeTxOn} {
-				sys := bench.NewMedleySkip(wl)
+				sys := mustSystem("medley", txengine.KindSkip, wl, bench.Options{})
 				res := bench.RunLatency(sys, wl, mode, th, dur)
 				fmt.Printf("%-10s %-10s %-10s %12.0f\n", "10a", mode, wl.Ratio(), res.NsPerTx)
 				sys.Close()
@@ -140,9 +197,9 @@ func runLatency(fig string, ratios [][3]int, scale float64, dur time.Duration, l
 		if fig == "10" || fig == "10b" {
 			// (b) payloads on NVM, persistence off: montage maps with free
 			// write-back (epoch system idle) but NVM store latency charged.
-			latNoPersist := pnvm.Latencies{Write: lat.Write}
+			noPersist := bench.Options{Latencies: pnvm.Latencies{Write: opt.Latencies.Write}, EpochLen: time.Hour}
 			for _, mode := range []bench.LatencyMode{bench.ModeTxOff, bench.ModeTxOn} {
-				sys := bench.NewTxMontageSkip(wl, latNoPersist, time.Hour)
+				sys := mustSystem("txmontage", txengine.KindSkip, wl, noPersist)
 				res := bench.RunLatency(sys, wl, mode, th, dur)
 				fmt.Printf("%-10s %-10s %-10s %12.0f\n", "10b", mode, wl.Ratio(), res.NsPerTx)
 				sys.Close()
@@ -151,7 +208,7 @@ func runLatency(fig string, ratios [][3]int, scale float64, dur time.Duration, l
 		if fig == "10" || fig == "10c" {
 			// (c) full persistence on.
 			for _, mode := range []bench.LatencyMode{bench.ModeTxOff, bench.ModeTxOn} {
-				sys := bench.NewTxMontageSkip(wl, lat, epochLen)
+				sys := mustSystem("txmontage", txengine.KindSkip, wl, opt)
 				res := bench.RunLatency(sys, wl, mode, th, dur)
 				fmt.Printf("%-10s %-10s %-10s %12.0f\n", "10c", mode, wl.Ratio(), res.NsPerTx)
 				sys.Close()

@@ -13,7 +13,10 @@ import (
 
 func main() {
 	cfg := tpcc.DefaultConfig(2)
-	st := tpcc.NewMedleyStore()
+	st, err := tpcc.NewStore("medley", tpcc.StoreOptions{})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("loading %d warehouses...\n", cfg.Warehouses)
 	tpcc.Load(st, cfg)
 
@@ -27,7 +30,7 @@ func main() {
 	// Invariant 2: order ids are dense — every id below NextOID exists
 	// (newOrder reads and bumps NextOID and inserts the order atomically).
 	w := st.NewWorker(0)
-	err := w.RunTx(func(h tpcc.Handle) error {
+	err = w.RunTx(func(h tpcc.Handle) error {
 		for wh := 0; wh < cfg.Warehouses; wh++ {
 			wv, _ := h.Get(tpcc.TWarehouse, tpcc.WKey(wh))
 			var dsum uint64

@@ -1,0 +1,3 @@
+module medley
+
+go 1.24

@@ -2,8 +2,11 @@ package bench
 
 import (
 	"math/rand/v2"
+	"slices"
 	"testing"
 	"time"
+
+	"medley/internal/txengine"
 )
 
 func TestGenTxRespectsRatioAndSize(t *testing.T) {
@@ -62,29 +65,44 @@ func TestDefaultThreadSweepMonotoneAndBounded(t *testing.T) {
 	}
 }
 
-// Smoke test every system through one short throughput run: the harness
-// must produce nonzero results and structures must survive.
+// Smoke test every registered transactional engine, in both map shapes it
+// supports, through one short throughput run: the harness must produce
+// nonzero results and structures must survive.
 func TestAllSystemsSmoke(t *testing.T) {
 	wl := PaperWorkload(2, 1, 1, 0.001)
-	lat := PnvmFreeLatencies()
-	systems := []func() System{
-		func() System { return NewMedleyHash(wl) },
-		func() System { return NewMedleySkip(wl) },
-		func() System { return NewTxMontageHash(wl, lat, 5*time.Millisecond) },
-		func() System { return NewTxMontageSkip(wl, lat, 5*time.Millisecond) },
-		func() System { return NewOneFileHash(wl) },
-		func() System { return NewOneFileSkip(wl) },
-		func() System { return NewPOneFileHash(wl, lat) },
-		func() System { return NewPOneFileSkip(wl, lat) },
-		func() System { return NewTDSLSkip(wl) },
-		func() System { return NewLFTTSkip(wl) },
+	opt := Options{EpochLen: 5 * time.Millisecond}
+	for _, kind := range []txengine.MapKind{txengine.KindHash, txengine.KindSkip} {
+		names := TxSystemsFor(kind)
+		if len(names) == 0 {
+			t.Fatalf("no engines for %v maps", kind)
+		}
+		for _, name := range names {
+			sys, err := NewSystem(name, kind, wl, opt)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, kind, err)
+			}
+			res := RunThroughput(sys, wl, 4, 50*time.Millisecond)
+			sys.Close()
+			if res.Txns == 0 {
+				t.Errorf("%s: no transactions completed", res.System)
+			}
+		}
 	}
-	for _, mk := range systems {
-		sys := mk()
-		res := RunThroughput(sys, wl, 4, 50*time.Millisecond)
-		sys.Close()
-		if res.Txns == 0 {
-			t.Errorf("%s: no transactions completed", res.System)
+}
+
+// The default figure series must include every system of the paper's
+// Figures 7–8 plus the newly wired Boost.
+func TestFigureSeriesCoverage(t *testing.T) {
+	hash := TxSystemsFor(txengine.KindHash)
+	for _, want := range []string{"medley", "txmontage", "onefile", "ponefile", "boost"} {
+		if !slices.Contains(hash, want) {
+			t.Errorf("hash series missing %q: %v", want, hash)
+		}
+	}
+	skip := TxSystemsFor(txengine.KindSkip)
+	for _, want := range []string{"medley", "txmontage", "onefile", "ponefile", "tdsl", "lftt"} {
+		if !slices.Contains(skip, want) {
+			t.Errorf("skip series missing %q: %v", want, skip)
 		}
 	}
 }
@@ -92,11 +110,13 @@ func TestAllSystemsSmoke(t *testing.T) {
 func TestLatencyModes(t *testing.T) {
 	wl := PaperWorkload(2, 1, 1, 0.001)
 	for _, mode := range []LatencyMode{ModeOriginal, ModeTxOff, ModeTxOn} {
-		var sys System
+		name := "medley"
 		if mode == ModeOriginal {
-			sys = NewOriginalSkip(wl)
-		} else {
-			sys = NewMedleySkip(wl)
+			name = "original"
+		}
+		sys, err := NewSystem(name, txengine.KindSkip, wl, Options{})
+		if err != nil {
+			t.Fatal(err)
 		}
 		res := RunLatency(sys, wl, mode, 2, 50*time.Millisecond)
 		sys.Close()

@@ -1,234 +1,142 @@
 package bench
 
 import (
+	"fmt"
 	"time"
 
-	"medley/internal/core"
-	"medley/internal/lftt"
-	"medley/internal/montage"
-	"medley/internal/onefile"
 	"medley/internal/pnvm"
-	"medley/internal/structures/fskiplist"
-	"medley/internal/structures/mhash"
-	"medley/internal/tdsl"
-	"medley/internal/txmap"
+	"medley/internal/txengine"
 )
 
-// PnvmFreeLatencies returns a zero-cost device timing for tests.
-func PnvmFreeLatencies() pnvm.Latencies { return pnvm.Latencies{} }
-
-// ---------------------------------------------------------------- Medley --
-
-// medleySystem benchmarks a Medley (or txMontage) transactional map.
-type medleySystem struct {
-	name  string
-	mgr   *core.TxManager
-	m     txmap.Map[uint64]
-	es    *montage.EpochSys // non-nil for txMontage
-	close func()
+// Options configures engine construction for benchmarked systems. The zero
+// value is a transient engine with free NVM timing.
+type Options struct {
+	// Latencies drives the simulated NVM device of persistent engines.
+	Latencies pnvm.Latencies
+	// EpochLen is txMontage's persistence epoch length (0: advancer off).
+	EpochLen time.Duration
 }
 
-// NewMedleyHash returns the Medley hash-table system of Figure 7 (buckets
-// sized to the keyspace, as in the paper's 1M-bucket table).
-func NewMedleyHash(wl Workload) System {
-	mgr := core.NewTxManager()
-	return &medleySystem{name: "Medley-hash", mgr: mgr, m: mhash.NewUint64[uint64](int(wl.KeySpace))}
-}
-
-// NewMedleySkip returns the Medley skiplist system of Figure 8.
-func NewMedleySkip(Workload) System {
-	mgr := core.NewTxManager()
-	return &medleySystem{name: "Medley-skip", mgr: mgr, m: fskiplist.New[uint64, uint64]()}
-}
-
-// NewTxMontageHash returns the txMontage hash system of Figure 7 (Medley +
-// epoch-based periodic persistence over the simulated NVM device).
-func NewTxMontageHash(wl Workload, lat pnvm.Latencies, epochLen time.Duration) System {
-	mgr := core.NewTxManager()
-	es := montage.NewEpochSys(pnvm.New(lat))
-	montage.Attach(mgr, es)
-	m := montage.NewHashMap(es, montage.Uint64Codec(), int(wl.KeySpace))
-	es.Start(epochLen)
-	return &medleySystem{name: "txMontage-hash", mgr: mgr, m: m, es: es, close: es.Stop}
-}
-
-// NewTxMontageSkip returns the txMontage skiplist system of Figure 8.
-func NewTxMontageSkip(_ Workload, lat pnvm.Latencies, epochLen time.Duration) System {
-	mgr := core.NewTxManager()
-	es := montage.NewEpochSys(pnvm.New(lat))
-	montage.Attach(mgr, es)
-	m := montage.NewSkipMap(es, montage.Uint64Codec())
-	es.Start(epochLen)
-	return &medleySystem{name: "txMontage-skip", mgr: mgr, m: m, es: es, close: es.Stop}
-}
-
-func (b *medleySystem) Name() string { return b.name }
-func (b *medleySystem) Close() {
-	if b.close != nil {
-		b.close()
+// NewSystem builds the named engine from the txengine registry and wraps it
+// as a benchmark System over one transactional uint64 map of the given
+// kind, sized for wl (hash buckets track the keyspace, as in the paper's
+// 1M-bucket table; TDSL stripes scale with keyspace to keep partitions
+// skiplist-shaped).
+func NewSystem(engine string, kind txengine.MapKind, wl Workload, opt Options) (System, error) {
+	b, ok := txengine.Lookup(engine)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown engine %q", engine)
 	}
-}
-
-func (b *medleySystem) Preload(wl Workload) {
-	s := b.mgr.Session()
-	for i := 0; i < wl.Preload; i++ {
-		k := uint64(i) * (wl.KeySpace / uint64(wl.Preload))
-		b.m.Put(s, k, k+1)
-	}
-}
-
-func (b *medleySystem) NewWorker(int) Worker {
-	return &medleyWorker{s: b.mgr.Session(), m: b.m}
-}
-
-type medleyWorker struct {
-	s *core.Session
-	m txmap.Map[uint64]
-}
-
-func (w *medleyWorker) RunTx(ops []Op) {
-	_ = w.s.Run(func() error {
-		for _, op := range ops {
-			switch op.Kind {
-			case Get:
-				w.m.Get(w.s, op.Key)
-			case Insert:
-				w.m.Insert(w.s, op.Key, op.Val)
-			case Remove:
-				w.m.Remove(w.s, op.Key)
-			}
+	switch kind {
+	case txengine.KindHash:
+		if !b.Caps.Has(txengine.CapHashMap) {
+			return nil, fmt.Errorf("bench: engine %q has no hash map: %w", engine, txengine.ErrUnsupported)
 		}
-		return nil
-	})
-}
-
-func (w *medleyWorker) RunOpsNoTx(ops []Op) {
-	for _, op := range ops {
-		switch op.Kind {
-		case Get:
-			w.m.Get(w.s, op.Key)
-		case Insert:
-			w.m.Insert(w.s, op.Key, op.Val)
-		case Remove:
-			w.m.Remove(w.s, op.Key)
+	case txengine.KindSkip:
+		if !b.Caps.Has(txengine.CapSkipMap) {
+			return nil, fmt.Errorf("bench: engine %q has no skiplist: %w", engine, txengine.ErrUnsupported)
 		}
 	}
-}
-
-// ------------------------------------------------------- Original Fraser --
-
-// originalSkip benchmarks the untransformed skiplist (Figure 10 baseline).
-type originalSkip struct {
-	sl *fskiplist.Original[uint64, uint64]
-}
-
-// NewOriginalSkip returns the untransformed Fraser skiplist.
-func NewOriginalSkip(Workload) System {
-	return &originalSkip{sl: fskiplist.NewOriginal[uint64, uint64]()}
-}
-
-func (b *originalSkip) Name() string { return "Original-skip" }
-func (b *originalSkip) Close()       {}
-func (b *originalSkip) Preload(wl Workload) {
-	for i := 0; i < wl.Preload; i++ {
-		k := uint64(i) * (wl.KeySpace / uint64(wl.Preload))
-		b.sl.Put(k, k+1)
+	eng, err := b.New(txengine.Config{Latencies: opt.Latencies, EpochLen: opt.EpochLen})
+	if err != nil {
+		return nil, err
 	}
+	stripes := int(wl.KeySpace / 64)
+	if stripes < 8 {
+		stripes = 8
+	}
+	m, err := eng.NewUintMap(txengine.MapSpec{Kind: kind, Buckets: int(wl.KeySpace), Stripes: stripes})
+	if err != nil {
+		eng.Close()
+		return nil, err
+	}
+	return &engineSystem{
+		name: eng.Name() + "-" + kind.String(),
+		eng:  eng,
+		m:    m,
+	}, nil
 }
-func (b *originalSkip) NewWorker(int) Worker { return &originalWorker{sl: b.sl} }
 
-type originalWorker struct {
-	sl *fskiplist.Original[uint64, uint64]
-}
-
-func (w *originalWorker) RunTx([]Op) { panic("Original supports no transactions") }
-func (w *originalWorker) RunOpsNoTx(ops []Op) {
-	for _, op := range ops {
-		switch op.Kind {
-		case Get:
-			w.sl.Get(op.Key)
-		case Insert:
-			w.sl.Insert(op.Key, op.Val)
-		case Remove:
-			w.sl.Remove(op.Key)
+// TxSystemsFor returns the registry keys of every engine that can run
+// transactions over a map of the given kind — the default series of the
+// throughput figures.
+func TxSystemsFor(kind txengine.MapKind) []string {
+	var out []string
+	need := txengine.CapTx | txengine.CapHashMap
+	if kind == txengine.KindSkip {
+		need = txengine.CapTx | txengine.CapSkipMap
+	}
+	for _, b := range txengine.Builders() {
+		if b.Caps.Has(need) {
+			out = append(out, b.Key)
 		}
 	}
+	return out
 }
 
-// --------------------------------------------------------------- OneFile --
-
-type onefileSystem struct {
+// engineSystem is the one benchmark adapter: any registered engine, driven
+// through its Tx handles over a single transactional map.
+type engineSystem struct {
 	name string
-	st   *onefile.STM
-	sl   *onefile.SkipList[uint64]
-	h    *onefile.Hash[uint64]
+	eng  txengine.Engine
+	m    txengine.Map[uint64]
 }
 
-// NewOneFileHash returns the transient OneFile hash system of Figure 7.
-func NewOneFileHash(wl Workload) System {
-	st := onefile.New()
-	return &onefileSystem{name: "OneFile-hash", st: st, h: onefile.NewHash[uint64](st, int(wl.KeySpace))}
-}
+func (b *engineSystem) Name() string { return b.name }
+func (b *engineSystem) Close()       { b.eng.Close() }
 
-// NewOneFileSkip returns the transient OneFile skiplist system of Figure 8.
-func NewOneFileSkip(Workload) System {
-	st := onefile.New()
-	return &onefileSystem{name: "OneFile-skip", st: st, sl: onefile.NewSkipList[uint64](st)}
-}
-
-// NewPOneFileHash returns the persistent OneFile hash system (eager
-// per-write persistence on the simulated device).
-func NewPOneFileHash(wl Workload, lat pnvm.Latencies) System {
-	st := onefile.NewPersistent(pnvm.New(lat))
-	return &onefileSystem{name: "POneFile-hash", st: st, h: onefile.NewHash[uint64](st, int(wl.KeySpace))}
-}
-
-// NewPOneFileSkip returns the persistent OneFile skiplist system.
-func NewPOneFileSkip(_ Workload, lat pnvm.Latencies) System {
-	st := onefile.NewPersistent(pnvm.New(lat))
-	return &onefileSystem{name: "POneFile-skip", st: st, sl: onefile.NewSkipList[uint64](st)}
-}
-
-func (b *onefileSystem) Name() string { return b.name }
-func (b *onefileSystem) Close()       {}
-
-func (b *onefileSystem) get(k uint64) {
-	if b.sl != nil {
-		b.sl.Get(k)
-	} else {
-		b.h.Get(k)
+func (b *engineSystem) Preload(wl Workload) {
+	w := b.eng.NewWorker(-1)
+	step := wl.KeySpace / uint64(wl.Preload)
+	if !b.eng.Caps().Has(txengine.CapTx) {
+		w.NoTx(func() {
+			for i := 0; i < wl.Preload; i++ {
+				k := uint64(i) * step
+				b.m.Put(w, k, k+1)
+			}
+		})
+		return
 	}
-}
-func (b *onefileSystem) insert(k, v uint64) {
-	if b.sl != nil {
-		b.sl.Insert(k, v)
-	} else {
-		b.h.Insert(k, v)
-	}
-}
-func (b *onefileSystem) remove(k uint64) {
-	if b.sl != nil {
-		b.sl.Remove(k)
-	} else {
-		b.h.Remove(k)
-	}
-}
-
-func (b *onefileSystem) Preload(wl Workload) {
-	b.st.WriteTx(func() error {
-		for i := 0; i < wl.Preload; i++ {
-			k := uint64(i) * (wl.KeySpace / uint64(wl.Preload))
-			b.insert(k, k+1)
+	// Batch into modest transactions to keep descriptors and static op
+	// lists small.
+	const chunk = 256
+	for i := 0; i < wl.Preload; i += chunk {
+		end := min(i+chunk, wl.Preload)
+		if err := w.Run(func() error {
+			for j := i; j < end; j++ {
+				k := uint64(j) * step
+				b.m.Put(w, k, k+1)
+			}
+			return nil
+		}); err != nil {
+			panic("bench preload: " + err.Error())
 		}
-		return nil
-	})
+	}
 }
 
-func (b *onefileSystem) NewWorker(int) Worker { return &onefileWorker{b: b} }
+func (b *engineSystem) NewWorker(tid int) Worker {
+	return &engineWorker{m: b.m, tx: b.eng.NewWorker(tid)}
+}
 
-type onefileWorker struct{ b *onefileSystem }
+type engineWorker struct {
+	m  txengine.Map[uint64]
+	tx txengine.Tx
+}
 
-func (w *onefileWorker) RunTx(ops []Op) {
+func (w *engineWorker) apply(ops []Op) {
+	for _, op := range ops {
+		switch op.Kind {
+		case Get:
+			w.m.Get(w.tx, op.Key)
+		case Insert:
+			w.m.Insert(w.tx, op.Key, op.Val)
+		case Remove:
+			w.m.Remove(w.tx, op.Key)
+		}
+	}
+}
+
+func (w *engineWorker) RunTx(ops []Op) {
 	readOnly := true
 	for _, op := range ops {
 		if op.Kind != Get {
@@ -237,128 +145,12 @@ func (w *onefileWorker) RunTx(ops []Op) {
 		}
 	}
 	if readOnly {
-		w.b.st.ReadTx(func() {
-			for _, op := range ops {
-				w.b.get(op.Key)
-			}
-		})
+		w.tx.RunRead(func() { w.apply(ops) })
 		return
 	}
-	w.b.st.WriteTx(func() error {
-		for _, op := range ops {
-			switch op.Kind {
-			case Get:
-				w.b.get(op.Key)
-			case Insert:
-				w.b.insert(op.Key, op.Val)
-			case Remove:
-				w.b.remove(op.Key)
-			}
-		}
-		return nil
-	})
+	_ = w.tx.Run(func() error { w.apply(ops); return nil })
 }
 
-func (w *onefileWorker) RunOpsNoTx(ops []Op) { w.RunTx(ops) }
-
-// ------------------------------------------------------------------ TDSL --
-
-type tdslSystem struct {
-	tm *tdsl.TM
-	m  *tdsl.Map[uint64]
+func (w *engineWorker) RunOpsNoTx(ops []Op) {
+	w.tx.NoTx(func() { w.apply(ops) })
 }
-
-// NewTDSLSkip returns the TDSL skiplist system of Figure 8 (stripes scale
-// with keyspace to keep partitions skiplist-shaped).
-func NewTDSLSkip(wl Workload) System {
-	tm := tdsl.NewTM()
-	stripes := int(wl.KeySpace / 64)
-	if stripes < 8 {
-		stripes = 8
-	}
-	return &tdslSystem{tm: tm, m: tdsl.NewMap[uint64](stripes)}
-}
-
-func (b *tdslSystem) Name() string { return "TDSL-skip" }
-func (b *tdslSystem) Close()       {}
-
-func (b *tdslSystem) Preload(wl Workload) {
-	b.tm.Run(func(tx *tdsl.Tx) error {
-		for i := 0; i < wl.Preload; i++ {
-			k := uint64(i) * (wl.KeySpace / uint64(wl.Preload))
-			b.m.Put(tx, k, k+1)
-		}
-		return nil
-	})
-}
-
-func (b *tdslSystem) NewWorker(int) Worker { return &tdslWorker{b: b} }
-
-type tdslWorker struct{ b *tdslSystem }
-
-func (w *tdslWorker) RunTx(ops []Op) {
-	w.b.tm.Run(func(tx *tdsl.Tx) error {
-		for _, op := range ops {
-			switch op.Kind {
-			case Get:
-				w.b.m.Get(tx, op.Key)
-			case Insert:
-				w.b.m.Insert(tx, op.Key, op.Val)
-			case Remove:
-				w.b.m.Remove(tx, op.Key)
-			}
-		}
-		return nil
-	})
-}
-
-func (w *tdslWorker) RunOpsNoTx(ops []Op) { w.RunTx(ops) }
-
-// ------------------------------------------------------------------ LFTT --
-
-type lfttSystem struct {
-	sl *lftt.SkipList
-}
-
-// NewLFTTSkip returns the LFTT skiplist system of Figure 8.
-func NewLFTTSkip(Workload) System { return &lfttSystem{sl: lftt.New()} }
-
-func (b *lfttSystem) Name() string { return "LFTT-skip" }
-func (b *lfttSystem) Close()       {}
-
-func (b *lfttSystem) Preload(wl Workload) {
-	for i := 0; i < wl.Preload; i++ {
-		k := uint64(i) * (wl.KeySpace / uint64(wl.Preload))
-		b.sl.Insert(k, k+1)
-	}
-}
-
-func (b *lfttSystem) NewWorker(int) Worker { return &lfttWorker{b: b} }
-
-type lfttWorker struct {
-	b   *lfttSystem
-	buf []lftt.Op
-}
-
-func (w *lfttWorker) RunTx(ops []Op) {
-	w.buf = w.buf[:0]
-	for _, op := range ops {
-		var k lftt.OpKind
-		switch op.Kind {
-		case Get:
-			k = lftt.OpGet
-		case Insert:
-			k = lftt.OpInsert
-		case Remove:
-			k = lftt.OpRemove
-		}
-		w.buf = append(w.buf, lftt.Op{Kind: k, Key: op.Key, Val: op.Val})
-	}
-	for {
-		if _, ok := w.b.sl.ExecuteTx(w.buf); ok {
-			return
-		}
-	}
-}
-
-func (w *lfttWorker) RunOpsNoTx(ops []Op) { w.RunTx(ops) }

@@ -175,6 +175,45 @@ func (m *BoostedMap[V]) Get(s *core.Session, k uint64) (V, bool, error) {
 	return v, ok, err
 }
 
+// Upsert binds k to v and reports the previous binding, all under one
+// semantic-lock acquisition; the inverse restores the binding on abort.
+func (m *BoostedMap[V]) Upsert(s *core.Session, k uint64, v V) (V, bool, error) {
+	var old V
+	var had bool
+	err := m.locks.Do(s, k,
+		func() {
+			old, had = m.read(k)
+			m.write(k, v)
+		},
+		func() {
+			if had {
+				m.write(k, old)
+			} else {
+				m.del(k)
+			}
+		})
+	return old, had, err
+}
+
+// InsertIfAbsent adds k→v only if absent, atomically under one
+// semantic-lock acquisition; the inverse deletes it on abort.
+func (m *BoostedMap[V]) InsertIfAbsent(s *core.Session, k uint64, v V) (bool, error) {
+	inserted := false
+	err := m.locks.Do(s, k,
+		func() {
+			if _, had := m.read(k); !had {
+				m.write(k, v)
+				inserted = true
+			}
+		},
+		func() {
+			if inserted {
+				m.del(k)
+			}
+		})
+	return inserted, err
+}
+
 // Put binds k to v; the inverse restores the previous binding on abort.
 func (m *BoostedMap[V]) Put(s *core.Session, k uint64, v V) error {
 	old, had := V(*new(V)), false

@@ -252,6 +252,19 @@ func (s *Session) Run(fn func() error) error {
 // backoff applies bounded randomized exponential backoff between retries to
 // avoid livelock among mutually aborting transactions (paper Section 3.1).
 func (s *Session) backoff(attempt int) {
+	if s.rng == 0 {
+		s.rng = uint64(s.id)*2654435769 + 0x9e3779b97f4a7c15
+	}
+	Backoff(attempt, &s.rng)
+}
+
+// Backoff applies bounded randomized exponential backoff between optimistic
+// retries: free first attempts, then Gosched, then jittered spins/sleeps.
+// rng is caller-owned xorshift64 state (0 means unseeded) so independent
+// retry loops don't share jitter streams. Exported for retry loops outside
+// the session machinery (e.g. the txengine adapters of systems that manage
+// their own re-execution).
+func Backoff(attempt int, rng *uint64) {
 	if attempt < 2 {
 		return
 	}
@@ -264,14 +277,14 @@ func (s *Session) backoff(attempt int) {
 		shift = 16
 	}
 	// xorshift64 for jitter
-	x := s.rng
+	x := *rng
 	if x == 0 {
-		x = uint64(s.id)*2654435769 + 0x9e3779b97f4a7c15
+		x = 0x9e3779b97f4a7c15
 	}
 	x ^= x << 13
 	x ^= x >> 7
 	x ^= x << 17
-	s.rng = x
+	*rng = x
 	spin := x % (1 << shift)
 	if spin > 1<<14 {
 		time.Sleep(time.Duration(spin>>4) * time.Nanosecond)

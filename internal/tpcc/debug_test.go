@@ -12,20 +12,23 @@ import (
 // Minimal reproducer scaffolding for the newOrder spin.
 func TestDebugSingleNewOrder(t *testing.T) {
 	cfg := smallCfg()
-	st := NewMedleyStore()
+	st, err := NewStore("medley", StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	Load(st, cfg)
-	w := st.NewWorker(1).(*medleyWorker)
+	w := st.NewWorker(1)
 	rng := rand.New(rand.NewPCG(1, 2))
 	for i := 0; i < 50; i++ {
 		attempts := 0
-		err := w.s.Run(func() error {
+		err := w.RunTx(func(h Handle) error {
 			attempts++
 			if attempts > 20 {
 				t.Fatalf("newOrder %d: %d retries — deterministic abort loop", i, attempts)
 			}
-			return NewOrder(medleyHandle{w}, cfg, rng, 1)
+			return NewOrder(h, cfg, rng, 1)
 		})
-		if err != nil && err.Error() != "tpcc: business abort" {
+		if err != nil {
 			t.Fatalf("newOrder %d: %v", i, err)
 		}
 	}

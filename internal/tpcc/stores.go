@@ -2,206 +2,150 @@ package tpcc
 
 import (
 	"errors"
+	"fmt"
+	"time"
 
-	"medley/internal/core"
 	"medley/internal/montage"
-	"medley/internal/onefile"
 	"medley/internal/pnvm"
-	"medley/internal/structures/fskiplist"
-	"medley/internal/tdsl"
-	"medley/internal/txmap"
+	"medley/internal/txengine"
 )
 
-// errUserAbort is the no-retry abort used by Handle.Abort implementations.
-var errUserAbort = errors.New("tpcc: business abort")
-
-// ------------------------------------------------------- Medley/txMontage --
-
-// MedleyStore runs TPC-C over Medley skiplists (one per table), optionally
-// with txMontage persistence when constructed via NewTxMontageStore.
-type MedleyStore struct {
-	name   string
-	mgr    *core.TxManager
-	tables [NumTables]txmap.Map[any]
-	es     *montage.EpochSys
+// StoreOptions configures engine construction for TPC-C stores. The zero
+// value is a transient engine with free NVM timing.
+type StoreOptions struct {
+	// Latencies drives the simulated NVM device of persistent engines.
+	Latencies pnvm.Latencies
+	// EpochLen is txMontage's persistence epoch length (0: advancer off).
+	EpochLen time.Duration
 }
 
-// NewMedleyStore creates the transient Medley store (skiplist tables).
-func NewMedleyStore() *MedleyStore {
-	st := &MedleyStore{name: "Medley", mgr: core.NewTxManager()}
-	for i := range st.tables {
-		st.tables[i] = fskiplist.New[uint64, any]()
+// Engines returns the registry keys of every engine that can run TPC-C
+// (dynamic transactions over row maps), in registration order.
+func Engines() []string {
+	var out []string
+	for _, b := range txengine.Builders() {
+		if b.Caps.Has(txengine.CapDynamicTx | txengine.CapRowMaps) {
+			out = append(out, b.Key)
+		}
 	}
-	return st
+	return out
 }
 
-// NewTxMontageStore creates the persistent txMontage store: Medley indices
-// over NVM payloads with epoch-based periodic persistence.
-func NewTxMontageStore(lat pnvm.Latencies) *MedleyStore {
-	st := &MedleyStore{name: "txMontage", mgr: core.NewTxManager()}
-	es := montage.NewEpochSys(pnvm.New(lat))
-	montage.Attach(st.mgr, es)
-	st.es = es
-	codec := rowCodec()
-	for i := range st.tables {
-		st.tables[i] = montage.NewSkipMap(es, codec)
+// DefaultEngines returns the default TPC-C series: every capable engine
+// not marked Slow in the registry (ponefile's eager persistence is
+// impractical at benchmark durations; it still runs when named explicitly).
+func DefaultEngines() []string {
+	var out []string
+	for _, name := range Engines() {
+		if b, ok := txengine.Lookup(name); ok && !b.Slow {
+			out = append(out, name)
+		}
 	}
-	return st
+	return out
 }
 
-// EpochSys exposes the montage epoch system (nil for the transient store).
-func (st *MedleyStore) EpochSys() *montage.EpochSys { return st.es }
+// CanRun reports whether the named engine can run TPC-C: it must exist and
+// support dynamic transactions over row maps. TPC-C branches on values read
+// inside the transaction, which is why LFTT (static transactions) cannot
+// run it, as the paper notes.
+func CanRun(engine string) error {
+	b, ok := txengine.Lookup(engine)
+	if !ok {
+		return fmt.Errorf("tpcc: unknown engine %q", engine)
+	}
+	if !b.Caps.Has(txengine.CapDynamicTx | txengine.CapRowMaps) {
+		return fmt.Errorf("tpcc: engine %q cannot run TPC-C (needs dynamic transactions over row maps): %w",
+			engine, txengine.ErrUnsupported)
+	}
+	return nil
+}
+
+// NewStore builds the named engine from the txengine registry and lays the
+// TPC-C tables over its transactional row maps (see CanRun for which
+// engines qualify). Tables prefer the skiplist shape (the paper's
+// representation); engines without one (Boost) fall back to hash tables.
+func NewStore(engine string, opt StoreOptions) (Store, error) {
+	if err := CanRun(engine); err != nil {
+		return nil, err
+	}
+	b, _ := txengine.Lookup(engine)
+	eng, err := b.New(txengine.Config{
+		Latencies: opt.Latencies,
+		EpochLen:  opt.EpochLen,
+		RowCodec:  rowCodec(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	spec := txengine.MapSpec{Kind: txengine.KindSkip, Stripes: 512}
+	if !b.Caps.Has(txengine.CapSkipMap) {
+		spec = txengine.MapSpec{Kind: txengine.KindHash, Buckets: 1 << 14}
+	}
+	st := &engineStore{eng: eng}
+	for i := range st.tables {
+		st.tables[i], err = eng.NewRowMap(spec)
+		if err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("tpcc: %s table %d: %w", engine, i, err)
+		}
+	}
+	return st, nil
+}
+
+// engineStore is the one TPC-C store adapter: any row-capable engine,
+// with one transactional row map per table.
+type engineStore struct {
+	eng    txengine.Engine
+	tables [NumTables]txengine.Map[any]
+}
 
 // Name implements Store.
-func (st *MedleyStore) Name() string { return st.name }
+func (st *engineStore) Name() string { return st.eng.Name() }
 
 // Close implements Store.
-func (st *MedleyStore) Close() {}
+func (st *engineStore) Close() { st.eng.Close() }
 
 // NewWorker implements Store.
-func (st *MedleyStore) NewWorker(tid int) Worker {
-	return &medleyWorker{st: st, s: st.mgr.Session()}
+func (st *engineStore) NewWorker(tid int) Worker {
+	return &engineWorker{st: st, tx: st.eng.NewWorker(tid)}
 }
 
-type medleyWorker struct {
-	st *MedleyStore
-	s  *core.Session
+type engineWorker struct {
+	st *engineStore
+	tx txengine.Tx
 }
 
-type medleyHandle struct {
-	w *medleyWorker
-}
-
-func (w *medleyWorker) RunTx(fn func(h Handle) error) error {
-	err := w.s.Run(func() error { return fn(medleyHandle{w}) })
-	if errors.Is(err, errUserAbort) {
+// RunTx executes fn transactionally; a business abort (Handle.Abort) rolls
+// the transaction back and counts as completed work.
+func (w *engineWorker) RunTx(fn func(h Handle) error) error {
+	err := w.tx.Run(func() error { return fn(engineHandle{w}) })
+	if errors.Is(err, txengine.ErrBusinessAbort) {
 		return nil // deliberate rollback: counted as completed work
 	}
 	return err
 }
 
-func (h medleyHandle) Get(t Table, k uint64) (any, bool) {
-	return h.w.st.tables[t].Get(h.w.s, k)
-}
-func (h medleyHandle) Put(t Table, k uint64, v any) {
-	h.w.st.tables[t].Put(h.w.s, k, v)
-}
-func (h medleyHandle) Insert(t Table, k uint64, v any) bool {
-	return h.w.st.tables[t].Insert(h.w.s, k, v)
-}
-func (h medleyHandle) Abort() error {
-	h.w.s.TxAbort()
-	return errUserAbort
+type engineHandle struct {
+	w *engineWorker
 }
 
-// ----------------------------------------------------------------- OneFile --
-
-// OneFileStore runs TPC-C over OneFile-lite skiplists.
-type OneFileStore struct {
-	name   string
-	st     *onefile.STM
-	tables [NumTables]*onefile.SkipList[any]
+func (h engineHandle) Get(t Table, k uint64) (any, bool) {
+	return h.w.st.tables[t].Get(h.w.tx, k)
 }
-
-// NewOneFileStore creates the transient OneFile store.
-func NewOneFileStore() *OneFileStore {
-	s := &OneFileStore{name: "OneFile", st: onefile.New()}
-	for i := range s.tables {
-		s.tables[i] = onefile.NewSkipList[any](s.st)
-	}
-	return s
+func (h engineHandle) Put(t Table, k uint64, v any) {
+	h.w.st.tables[t].Put(h.w.tx, k, v)
 }
-
-// NewPOneFileStore creates the eagerly-persistent POneFile store.
-func NewPOneFileStore(lat pnvm.Latencies) *OneFileStore {
-	s := &OneFileStore{name: "POneFile", st: onefile.NewPersistent(pnvm.New(lat))}
-	for i := range s.tables {
-		s.tables[i] = onefile.NewSkipList[any](s.st)
-	}
-	return s
+func (h engineHandle) Insert(t Table, k uint64, v any) bool {
+	return h.w.st.tables[t].Insert(h.w.tx, k, v)
 }
-
-// Name implements Store.
-func (s *OneFileStore) Name() string { return s.name }
-
-// Close implements Store.
-func (s *OneFileStore) Close() {}
-
-// NewWorker implements Store.
-func (s *OneFileStore) NewWorker(tid int) Worker { return &onefileWorker{st: s} }
-
-type onefileWorker struct{ st *OneFileStore }
-
-type onefileHandle struct{ st *OneFileStore }
-
-func (w *onefileWorker) RunTx(fn func(h Handle) error) error {
-	err := w.st.st.WriteTx(func() error { return fn(onefileHandle{w.st}) })
-	if errors.Is(err, errUserAbort) {
-		return nil
-	}
-	return err
-}
-
-func (h onefileHandle) Get(t Table, k uint64) (any, bool) { return h.st.tables[t].Get(k) }
-func (h onefileHandle) Put(t Table, k uint64, v any)      { h.st.tables[t].Put(k, v) }
-func (h onefileHandle) Insert(t Table, k uint64, v any) bool {
-	return h.st.tables[t].Insert(k, v)
-}
-func (h onefileHandle) Abort() error { return errUserAbort }
-
-// -------------------------------------------------------------------- TDSL --
-
-// TDSLStore runs TPC-C over TDSL-lite maps.
-type TDSLStore struct {
-	tm     *tdsl.TM
-	tables [NumTables]*tdsl.Map[any]
-}
-
-// NewTDSLStore creates the TDSL store.
-func NewTDSLStore() *TDSLStore {
-	s := &TDSLStore{tm: tdsl.NewTM()}
-	for i := range s.tables {
-		s.tables[i] = tdsl.NewMap[any](512)
-	}
-	return s
-}
-
-// Name implements Store.
-func (s *TDSLStore) Name() string { return "TDSL" }
-
-// Close implements Store.
-func (s *TDSLStore) Close() {}
-
-// NewWorker implements Store.
-func (s *TDSLStore) NewWorker(tid int) Worker { return &tdslWorker{st: s} }
-
-type tdslWorker struct{ st *TDSLStore }
-
-type tdslHandle struct {
-	st *TDSLStore
-	tx *tdsl.Tx
-}
-
-func (w *tdslWorker) RunTx(fn func(h Handle) error) error {
-	err := w.st.tm.Run(func(tx *tdsl.Tx) error { return fn(tdslHandle{w.st, tx}) })
-	if errors.Is(err, errUserAbort) {
-		return nil
-	}
-	return err
-}
-
-func (h tdslHandle) Get(t Table, k uint64) (any, bool) { return h.st.tables[t].Get(h.tx, k) }
-func (h tdslHandle) Put(t Table, k uint64, v any)      { h.st.tables[t].Put(h.tx, k, v) }
-func (h tdslHandle) Insert(t Table, k uint64, v any) bool {
-	return h.st.tables[t].Insert(h.tx, k, v)
-}
-func (h tdslHandle) Abort() error { return errUserAbort }
+func (h engineHandle) Abort() error { return h.w.tx.Abort() }
 
 // ------------------------------------------------------------- row codec --
 
-// rowCodec encodes the row structs into NVM payload bytes for txMontage.
-// Rows are small fixed shapes, so a one-byte tag plus little-endian fields
-// suffices; decoding is exercised by recovery tests.
+// rowCodec encodes the row structs into NVM payload bytes for txMontage —
+// the one engine-specific hook TPC-C supplies. Rows are small fixed shapes,
+// so a one-byte tag plus little-endian fields suffices; decoding is
+// exercised by recovery tests.
 func rowCodec() montage.Codec[any] {
 	put := func(b []byte, vs ...uint64) []byte {
 		for _, v := range vs {

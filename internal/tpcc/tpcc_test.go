@@ -4,8 +4,6 @@ import (
 	"math/rand/v2"
 	"testing"
 	"time"
-
-	"medley/internal/pnvm"
 )
 
 func smallCfg() Config {
@@ -15,18 +13,38 @@ func smallCfg() Config {
 	}
 }
 
-func stores() []Store {
-	return []Store{
-		NewMedleyStore(),
-		NewTxMontageStore(pnvm.Latencies{}),
-		NewOneFileStore(),
-		NewTDSLStore(),
+// stores builds one Store per registry engine that can run TPC-C (LFTT is
+// static-only and excluded by Engines itself).
+func stores(t *testing.T) []Store {
+	t.Helper()
+	names := Engines()
+	if len(names) < 5 {
+		t.Fatalf("Engines() = %v, want at least medley/txmontage/onefile/tdsl/boost", names)
+	}
+	out := make([]Store, 0, len(names))
+	for _, name := range names {
+		st, err := NewStore(name, StoreOptions{})
+		if err != nil {
+			t.Fatalf("NewStore(%s): %v", name, err)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// TPC-C must refuse engines that cannot express its transactions.
+func TestNewStoreRejectsStaticEngines(t *testing.T) {
+	if _, err := NewStore("lftt", StoreOptions{}); err == nil {
+		t.Fatal("NewStore(lftt) succeeded; LFTT cannot run TPC-C")
+	}
+	if _, err := NewStore("no-such-engine", StoreOptions{}); err == nil {
+		t.Fatal("NewStore of unknown engine succeeded")
 	}
 }
 
 func TestLoadAndRunAllStores(t *testing.T) {
 	cfg := smallCfg()
-	for _, st := range stores() {
+	for _, st := range stores(t) {
 		t.Run(st.Name(), func(t *testing.T) {
 			Load(st, cfg)
 			w := st.NewWorker(1)
@@ -49,7 +67,7 @@ func TestLoadAndRunAllStores(t *testing.T) {
 // history amounts (payment writes all three atomically).
 func TestPaymentMoneyConservation(t *testing.T) {
 	cfg := smallCfg()
-	for _, st := range stores() {
+	for _, st := range stores(t) {
 		t.Run(st.Name(), func(t *testing.T) {
 			Load(st, cfg)
 			res := Run(st, cfg, 8, 300*time.Millisecond)
@@ -91,14 +109,17 @@ func TestPaymentMoneyConservation(t *testing.T) {
 // every oid below NextOID has exactly one order row.
 func TestNewOrderIDsDense(t *testing.T) {
 	cfg := smallCfg()
-	st := NewMedleyStore()
+	st, err := NewStore("medley", StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	Load(st, cfg)
 	res := Run(st, cfg, 8, 300*time.Millisecond)
 	if res.Txns == 0 {
 		t.Fatal("no transactions")
 	}
 	w := st.NewWorker(99)
-	err := w.RunTx(func(h Handle) error {
+	err = w.RunTx(func(h Handle) error {
 		for wh := 0; wh < cfg.Warehouses; wh++ {
 			for d := 0; d < cfg.DistPerWh; d++ {
 				dv, _ := h.Get(TDistrict, DKey(wh, d))
@@ -121,11 +142,13 @@ func TestNewOrderIDsDense(t *testing.T) {
 // txMontage TPC-C with a running epoch advancer must stay correct.
 func TestTxMontageWithAdvancer(t *testing.T) {
 	cfg := smallCfg()
-	st := NewTxMontageStore(pnvm.Latencies{})
-	st.EpochSys().Start(2 * time.Millisecond)
+	st, err := NewStore("txmontage", StoreOptions{EpochLen: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
 	Load(st, cfg)
 	res := Run(st, cfg, 4, 300*time.Millisecond)
-	st.EpochSys().Stop()
+	st.Close()
 	if res.Txns == 0 {
 		t.Fatal("no transactions with advancer running")
 	}

@@ -1,0 +1,127 @@
+package txengine
+
+import (
+	"fmt"
+
+	"medley/internal/core"
+	"medley/internal/montage"
+	"medley/internal/pnvm"
+	"medley/internal/structures/fskiplist"
+	"medley/internal/structures/mhash"
+	"medley/internal/txmap"
+)
+
+const medleyCaps = CapTx | CapDynamicTx | CapNoTx | CapHashMap | CapSkipMap | CapRowMaps
+
+// medleyEngine drives Medley transactional maps; with an epoch system
+// attached it is txMontage (Medley + periodic persistence over the
+// simulated NVM device).
+type medleyEngine struct {
+	name    string
+	mgr     *core.TxManager
+	es      *montage.EpochSys // non-nil for txMontage
+	codec   montage.Codec[any]
+	started bool
+}
+
+func newMedleyEngine(Config) (Engine, error) {
+	return &medleyEngine{name: "Medley", mgr: core.NewTxManager()}, nil
+}
+
+func newTxMontageEngine(cfg Config) (Engine, error) {
+	mgr := core.NewTxManager()
+	es := montage.NewEpochSys(pnvm.New(cfg.Latencies))
+	montage.Attach(mgr, es)
+	e := &medleyEngine{name: "txMontage", mgr: mgr, es: es, codec: cfg.RowCodec}
+	if cfg.EpochLen > 0 {
+		es.Start(cfg.EpochLen)
+		e.started = true
+	}
+	return e, nil
+}
+
+func (e *medleyEngine) Name() string { return e.name }
+func (e *medleyEngine) Caps() Caps   { return medleyCaps }
+
+func (e *medleyEngine) Close() {
+	if e.started {
+		e.es.Stop()
+	}
+}
+
+// EpochSys exposes the montage epoch system (nil for transient Medley), for
+// recovery demos and persistence tests.
+func (e *medleyEngine) EpochSys() *montage.EpochSys { return e.es }
+
+func (e *medleyEngine) NewUintMap(spec MapSpec) (Map[uint64], error) {
+	if e.es != nil {
+		if spec.Kind == KindHash {
+			return txmapAdapter[uint64]{montage.NewHashMap(e.es, montage.Uint64Codec(), bucketsOr(spec, 1<<16))}, nil
+		}
+		return txmapAdapter[uint64]{montage.NewSkipMap(e.es, montage.Uint64Codec())}, nil
+	}
+	if spec.Kind == KindHash {
+		return txmapAdapter[uint64]{mhash.NewUint64[uint64](bucketsOr(spec, 1<<16))}, nil
+	}
+	return txmapAdapter[uint64]{fskiplist.New[uint64, uint64]()}, nil
+}
+
+func (e *medleyEngine) NewRowMap(spec MapSpec) (Map[any], error) {
+	if e.es != nil {
+		if e.codec.Enc == nil || e.codec.Dec == nil {
+			return nil, fmt.Errorf("txengine: txmontage row maps need Config.RowCodec")
+		}
+		if spec.Kind == KindHash {
+			return txmapAdapter[any]{montage.NewHashMap(e.es, e.codec, bucketsOr(spec, 1<<16))}, nil
+		}
+		return txmapAdapter[any]{montage.NewSkipMap(e.es, e.codec)}, nil
+	}
+	if spec.Kind == KindHash {
+		return txmapAdapter[any]{mhash.NewUint64[any](bucketsOr(spec, 1<<16))}, nil
+	}
+	return txmapAdapter[any]{fskiplist.New[uint64, any]()}, nil
+}
+
+func (e *medleyEngine) NewWorker(int) Tx { return &sessionTx{s: e.mgr.Session()} }
+
+func bucketsOr(spec MapSpec, def int) int {
+	if spec.Buckets > 0 {
+		return spec.Buckets
+	}
+	return def
+}
+
+// sessionTx adapts a core.Session to the Tx interface. Medley operations
+// are usable both inside and outside transactions, so NoTx is genuinely
+// uninstrumented.
+type sessionTx struct {
+	s *core.Session
+}
+
+func (t *sessionTx) Run(fn func() error) error { return t.s.Run(fn) }
+
+func (t *sessionTx) RunRead(fn func()) {
+	_ = t.s.Run(func() error { fn(); return nil })
+}
+
+func (t *sessionTx) NoTx(fn func()) { fn() }
+
+func (t *sessionTx) Abort() error {
+	if t.s.InTx() {
+		t.s.TxAbort()
+	}
+	return ErrBusinessAbort
+}
+
+// txmapAdapter lifts any session-based txmap.Map (the Medley structures and
+// the montage persistent maps) to an engine Map.
+type txmapAdapter[V any] struct{ m txmap.Map[V] }
+
+func (a txmapAdapter[V]) Get(tx Tx, k uint64) (V, bool) { return a.m.Get(tx.(*sessionTx).s, k) }
+func (a txmapAdapter[V]) Put(tx Tx, k uint64, v V) (V, bool) {
+	return a.m.Put(tx.(*sessionTx).s, k, v)
+}
+func (a txmapAdapter[V]) Insert(tx Tx, k uint64, v V) bool {
+	return a.m.Insert(tx.(*sessionTx).s, k, v)
+}
+func (a txmapAdapter[V]) Remove(tx Tx, k uint64) (V, bool) { return a.m.Remove(tx.(*sessionTx).s, k) }

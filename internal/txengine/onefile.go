@@ -1,0 +1,133 @@
+package txengine
+
+import (
+	"medley/internal/onefile"
+	"medley/internal/pnvm"
+)
+
+const onefileCaps = CapTx | CapDynamicTx | CapHashMap | CapSkipMap | CapRowMaps
+
+// onefileEngine drives OneFile-lite: writers serialized through one global
+// sequence, optimistic readers. The persistent variant (POneFile) persists
+// eagerly on the critical path. There is no uninstrumented mode — NoTx
+// delegates to Run, as the baseline did in the paper's harness.
+type onefileEngine struct {
+	name string
+	st   *onefile.STM
+}
+
+func newOneFileEngine(Config) (Engine, error) {
+	return &onefileEngine{name: "OneFile", st: onefile.New()}, nil
+}
+
+func newPOneFileEngine(cfg Config) (Engine, error) {
+	return &onefileEngine{name: "POneFile", st: onefile.NewPersistent(pnvm.New(cfg.Latencies))}, nil
+}
+
+func (e *onefileEngine) Name() string { return e.name }
+func (e *onefileEngine) Caps() Caps   { return onefileCaps }
+func (e *onefileEngine) Close()       {}
+
+func (e *onefileEngine) NewUintMap(spec MapSpec) (Map[uint64], error) {
+	if spec.Kind == KindHash {
+		h := onefile.NewHash[uint64](e.st, bucketsOr(spec, 1<<16))
+		return ofMap[uint64]{get: h.Get, put: h.Put, ins: h.Insert, rem: h.Remove}, nil
+	}
+	sl := onefile.NewSkipList[uint64](e.st)
+	return ofMap[uint64]{get: sl.Get, put: sl.Put, ins: sl.Insert, rem: sl.Remove}, nil
+}
+
+func (e *onefileEngine) NewRowMap(spec MapSpec) (Map[any], error) {
+	if spec.Kind == KindHash {
+		h := onefile.NewHash[any](e.st, bucketsOr(spec, 1<<16))
+		return ofMap[any]{get: h.Get, put: h.Put, ins: h.Insert, rem: h.Remove}, nil
+	}
+	sl := onefile.NewSkipList[any](e.st)
+	return ofMap[any]{get: sl.Get, put: sl.Put, ins: sl.Insert, rem: sl.Remove}, nil
+}
+
+func (e *onefileEngine) NewWorker(int) Tx { return &onefileTx{st: e.st} }
+
+// onefileTx routes Run through the STM's serialized write path and RunRead
+// through its optimistic sequence-validated read path. inTx/inRead track
+// whether the worker is inside one of them, so standalone operations can
+// auto-wrap themselves: mutators must hold the writer lock to log undo
+// entries, and reads must seq-validate or they could observe uncommitted
+// writes of an in-flight write transaction.
+type onefileTx struct {
+	st     *onefile.STM
+	inTx   bool
+	inRead bool
+}
+
+func (t *onefileTx) Run(fn func() error) error {
+	t.inTx = true
+	defer func() { t.inTx = false }()
+	return t.st.WriteTx(fn)
+}
+
+func (t *onefileTx) RunRead(fn func()) {
+	t.inRead = true
+	defer func() { t.inRead = false }()
+	t.st.ReadTx(fn)
+}
+
+func (t *onefileTx) NoTx(fn func()) { _ = t.Run(func() error { fn(); return nil }) }
+func (t *onefileTx) Abort() error   { return ErrBusinessAbort }
+
+// ofMap adapts one OneFile structure (hash or skiplist; both carry their
+// STM internally). Operations called outside Run/RunRead wrap themselves in
+// the appropriate transaction.
+type ofMap[V any] struct {
+	get func(uint64) (V, bool)
+	put func(uint64, V) (V, bool)
+	ins func(uint64, V) bool
+	rem func(uint64) (V, bool)
+}
+
+func (m ofMap[V]) Get(tx Tx, k uint64) (v V, ok bool) {
+	t := tx.(*onefileTx)
+	if t.inTx || t.inRead {
+		return m.get(k)
+	}
+	t.RunRead(func() { v, ok = m.get(k) })
+	return v, ok
+}
+
+// mutable rejects mutation inside RunRead: the optimistic read loop would
+// re-execute fn — and re-apply the write — on every snapshot retry.
+func (t *onefileTx) mutable() {
+	if t.inRead {
+		panic("txengine: OneFile map mutation inside RunRead")
+	}
+}
+
+func (m ofMap[V]) Put(tx Tx, k uint64, v V) (old V, had bool) {
+	t := tx.(*onefileTx)
+	t.mutable()
+	if t.inTx {
+		return m.put(k, v)
+	}
+	_ = t.Run(func() error { old, had = m.put(k, v); return nil })
+	return old, had
+}
+
+func (m ofMap[V]) Insert(tx Tx, k uint64, v V) (ok bool) {
+	t := tx.(*onefileTx)
+	t.mutable()
+	if t.inTx {
+		return m.ins(k, v)
+	}
+	_ = t.Run(func() error { ok = m.ins(k, v); return nil })
+	return ok
+}
+
+func (m ofMap[V]) Remove(tx Tx, k uint64) (old V, had bool) {
+	t := tx.(*onefileTx)
+	t.mutable()
+	if t.inTx {
+		return m.rem(k)
+	}
+	_ = t.Run(func() error { old, had = m.rem(k); return nil })
+	return old, had
+}

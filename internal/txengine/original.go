@@ -1,0 +1,45 @@
+package txengine
+
+import (
+	"medley/internal/structures/fskiplist"
+)
+
+const originalCaps = CapNoTx | CapSkipMap
+
+// originalEngine exposes the untransformed Fraser skiplist — the Figure 10
+// "Original" baseline. It supports no transactions at all: Run panics, NoTx
+// executes operations back to back.
+type originalEngine struct{}
+
+func newOriginalEngine(Config) (Engine, error) { return originalEngine{}, nil }
+
+func (originalEngine) Name() string { return "Original" }
+func (originalEngine) Caps() Caps   { return originalCaps }
+func (originalEngine) Close()       {}
+
+func (originalEngine) NewUintMap(spec MapSpec) (Map[uint64], error) {
+	if spec.Kind == KindHash {
+		return nil, ErrUnsupported
+	}
+	return originalMap{sl: fskiplist.NewOriginal[uint64, uint64]()}, nil
+}
+
+func (originalEngine) NewRowMap(MapSpec) (Map[any], error) { return nil, ErrUnsupported }
+
+func (originalEngine) NewWorker(int) Tx { return originalTx{} }
+
+type originalTx struct{}
+
+func (originalTx) Run(func() error) error { panic("txengine: Original supports no transactions") }
+func (originalTx) RunRead(func())         { panic("txengine: Original supports no transactions") }
+func (originalTx) NoTx(fn func())         { fn() }
+func (originalTx) Abort() error           { panic("txengine: Original supports no transactions") }
+
+type originalMap struct {
+	sl *fskiplist.Original[uint64, uint64]
+}
+
+func (m originalMap) Get(_ Tx, k uint64) (uint64, bool)           { return m.sl.Get(k) }
+func (m originalMap) Put(_ Tx, k uint64, v uint64) (uint64, bool) { return m.sl.Put(k, v) }
+func (m originalMap) Insert(_ Tx, k uint64, v uint64) bool        { return m.sl.Insert(k, v) }
+func (m originalMap) Remove(_ Tx, k uint64) (uint64, bool)        { return m.sl.Remove(k) }

@@ -1,0 +1,264 @@
+// Package txengine unifies the repository's transactional systems behind a
+// single Engine abstraction: one name-keyed registry of backends (Medley,
+// txMontage, OneFile, POneFile, TDSL, LFTT, Boost, plus the untransformed
+// Original baseline), each exposing per-worker transaction handles and
+// transactional map factories. The benchmark harness (internal/bench), the
+// TPC-C workload (internal/tpcc), and the CLI tools all consume engines
+// through this package, so a new backend registered here runs every workload
+// for free.
+//
+// # Model
+//
+// An Engine owns whatever shared state its system needs (a Medley
+// TxManager, a OneFile STM, a TDSL version clock, ...). Workers obtain a Tx
+// handle, one per goroutine, and execute transactions with
+//
+//	err := tx.Run(func() error {
+//	    v, _ := m.Get(tx, k)
+//	    m.Put(tx, k, v+1)
+//	    return nil
+//	})
+//
+// Run retries internally on conflict aborts; any other error from the
+// closure aborts the transaction once and passes through to the caller
+// (the business-abort idiom — see ErrBusinessAbort and Tx.Abort).
+//
+// Map operations invoked on a Tx that is not inside Run execute standalone,
+// as single auto-committed operations.
+//
+// # Capabilities
+//
+// Engines differ in what they can express; Caps declares it. LFTT supports
+// only static transactions (the op list is buffered during Run and executed
+// atomically at the end, so reads inside Run return zero values), which is
+// why it carries CapTx but not CapDynamicTx and cannot run TPC-C. The
+// Original baseline supports no transactions at all (CapNoTx only).
+package txengine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"medley/internal/core"
+	"medley/internal/montage"
+	"medley/internal/pnvm"
+)
+
+// Caps declares what an engine supports.
+type Caps uint32
+
+const (
+	// CapTx: Run executes closure transactions atomically.
+	CapTx Caps = 1 << iota
+	// CapDynamicTx: reads inside Run return real values, so transaction
+	// logic may branch on them (required by TPC-C). Absent on LFTT, whose
+	// transactions are static.
+	CapDynamicTx
+	// CapNoTx: NoTx runs operations genuinely uninstrumented (the TxOff
+	// and Original modes of the paper's Figure 10). Engines without it
+	// fall back to wrapping NoTx bodies in a transaction.
+	CapNoTx
+	// CapHashMap: NewUintMap/NewRowMap accept KindHash.
+	CapHashMap
+	// CapSkipMap: NewUintMap/NewRowMap accept KindSkip.
+	CapSkipMap
+	// CapRowMaps: NewRowMap is available (any-valued tables for TPC-C).
+	CapRowMaps
+)
+
+// Has reports whether c contains every capability in want.
+func (c Caps) Has(want Caps) bool { return c&want == want }
+
+// MapKind selects the shape of a transactional map.
+type MapKind uint8
+
+const (
+	// KindHash is a hash table (buckets sized by MapSpec.Buckets).
+	KindHash MapKind = iota
+	// KindSkip is an ordered skiplist.
+	KindSkip
+)
+
+func (k MapKind) String() string {
+	if k == KindHash {
+		return "hash"
+	}
+	return "skip"
+}
+
+// MapSpec configures one map created on an engine.
+type MapSpec struct {
+	Kind    MapKind
+	Buckets int // hash bucket / lock-shard count hint (0: engine default)
+	Stripes int // partition count for striped engines (0: engine default)
+}
+
+// Config carries engine-construction parameters. Engines ignore fields they
+// do not need.
+type Config struct {
+	// Latencies drives the simulated NVM device of persistent engines
+	// (txMontage, POneFile). The zero value costs nothing.
+	Latencies pnvm.Latencies
+	// EpochLen, if positive, starts txMontage's epoch advancer at this
+	// period; Close stops it.
+	EpochLen time.Duration
+	// RowCodec encodes row values into NVM payload bytes; required by
+	// txMontage row maps (TPC-C), unused elsewhere.
+	RowCodec montage.Codec[any]
+	// LockShards bounds Boost's semantic-lock tables (0: default).
+	LockShards int
+}
+
+// ErrBusinessAbort is the no-retry abort returned by Tx.Abort: Run passes it
+// through to the caller instead of retrying, after rolling the transaction
+// back. Workload harnesses treat it as deliberately completed work.
+var ErrBusinessAbort = errors.New("txengine: business abort")
+
+// ErrUnsupported reports a map kind or transaction shape an engine cannot
+// provide; check Caps before constructing.
+var ErrUnsupported = errors.New("txengine: unsupported")
+
+// Tx is a per-worker transaction handle. Not goroutine-safe: one per
+// goroutine, like core.Session.
+type Tx interface {
+	// Run executes fn as one transaction, retrying internally (with
+	// backoff) whenever it aborts due to a conflict. A non-nil error from
+	// fn — including ErrBusinessAbort from Abort — rolls back once and is
+	// returned without retry.
+	Run(fn func() error) error
+	// RunRead executes fn as a read-only transaction, retried until it
+	// observes a consistent snapshot. Engines with cheaper read-only
+	// protocols (OneFile) exploit it; others delegate to Run.
+	RunRead(fn func())
+	// NoTx executes fn's operations outside any transaction where the
+	// engine supports that (CapNoTx); otherwise it wraps fn in Run.
+	NoTx(fn func())
+	// Abort dooms the current transaction for business reasons, rolls back
+	// its effects, and returns ErrBusinessAbort for fn to propagate.
+	Abort() error
+}
+
+// Map is a transactional map from uint64 keys to V, bound to the engine
+// that created it. Operations must be passed the worker's own Tx; called
+// outside Run they execute as standalone auto-committed operations.
+//
+// On engines without CapDynamicTx, in-transaction return values are
+// undefined (zero): the operation is only recorded for atomic execution.
+type Map[V any] interface {
+	// Get returns the value bound to k, if any.
+	Get(tx Tx, k uint64) (V, bool)
+	// Put binds k to v, returning the previous value if k was present.
+	Put(tx Tx, k uint64, v V) (V, bool)
+	// Insert adds k→v only if absent, reporting whether insertion happened.
+	Insert(tx Tx, k uint64, v V) bool
+	// Remove deletes k, returning its value if present.
+	Remove(tx Tx, k uint64) (V, bool)
+}
+
+// Engine is one transactional system.
+type Engine interface {
+	// Name is the display name ("Medley", "txMontage", ...).
+	Name() string
+	// Caps declares what the engine supports.
+	Caps() Caps
+	// NewUintMap creates a uint64-valued transactional map (the
+	// microbenchmark shape).
+	NewUintMap(spec MapSpec) (Map[uint64], error)
+	// NewRowMap creates an any-valued transactional map (the table shape;
+	// requires CapRowMaps).
+	NewRowMap(spec MapSpec) (Map[any], error)
+	// NewWorker returns a transaction handle for one goroutine.
+	NewWorker(tid int) Tx
+	// Close releases background resources (epoch advancers etc.).
+	Close()
+}
+
+// Builder is one registry entry.
+type Builder struct {
+	// Key is the registry name (lowercase; what -systems flags accept).
+	Key string
+	// Caps mirrors the built engine's capabilities, so callers can select
+	// backends without constructing them.
+	Caps Caps
+	// Doc is a one-line description for CLI help and the README matrix.
+	Doc string
+	// Slow marks engines impractically slow at default benchmark durations
+	// (eager per-write persistence); default workload series exclude them,
+	// explicit -systems selection still works.
+	Slow bool
+	// New constructs the engine.
+	New func(cfg Config) (Engine, error)
+}
+
+var registry []Builder
+
+// Register adds a builder to the registry. Registration order is
+// presentation order (Builders, Names). Duplicate keys panic.
+func Register(b Builder) {
+	key := strings.ToLower(b.Key)
+	for _, have := range registry {
+		if have.Key == key {
+			panic("txengine: duplicate engine " + key)
+		}
+	}
+	b.Key = key
+	registry = append(registry, b)
+}
+
+// Lookup returns the builder registered under name (case-insensitive).
+func Lookup(name string) (Builder, bool) {
+	name = strings.ToLower(name)
+	for _, b := range registry {
+		if b.Key == name {
+			return b, true
+		}
+	}
+	return Builder{}, false
+}
+
+// Build constructs the named engine.
+func Build(name string, cfg Config) (Engine, error) {
+	b, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("txengine: unknown engine %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return b.New(cfg)
+}
+
+// Builders returns the registry in registration order.
+func Builders() []Builder {
+	out := make([]Builder, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Names returns the registered keys in registration order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, b := range registry {
+		out[i] = b.Key
+	}
+	return out
+}
+
+// Builtin engines, in the paper's presentation order. A single init keeps
+// the ordering independent of file names.
+func init() {
+	Register(Builder{Key: "medley", Caps: medleyCaps, Doc: "Medley NBTC transactional maps (the paper's system)", New: newMedleyEngine})
+	Register(Builder{Key: "txmontage", Caps: medleyCaps, Doc: "Medley + nbMontage epoch-based periodic persistence", New: newTxMontageEngine})
+	Register(Builder{Key: "onefile", Caps: onefileCaps, Doc: "OneFile-lite STM (transient)", New: newOneFileEngine})
+	Register(Builder{Key: "ponefile", Caps: onefileCaps, Doc: "OneFile-lite with eager per-write persistence", Slow: true, New: newPOneFileEngine})
+	Register(Builder{Key: "tdsl", Caps: tdslCaps, Doc: "TDSL-lite striped transactional skiplists", New: newTDSLEngine})
+	Register(Builder{Key: "lftt", Caps: lfttCaps, Doc: "LFTT-style static transactions over a skiplist", New: newLFTTEngine})
+	Register(Builder{Key: "boost", Caps: boostCaps, Doc: "transactional boosting over a lock-based map", New: newBoostEngine})
+	Register(Builder{Key: "original", Caps: originalCaps, Doc: "untransformed Fraser skiplist (no transactions)", New: newOriginalEngine})
+}
+
+// backoff is per-worker state for core.Backoff, the shared randomized
+// exponential backoff that prevents livelock among mutually aborting
+// transactions.
+type backoff struct{ rng uint64 }
+
+func (b *backoff) wait(attempt int) { core.Backoff(attempt, &b.rng) }
