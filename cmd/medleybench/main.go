@@ -1,7 +1,10 @@
 // Command medleybench regenerates the microbenchmark figures of the Medley
 // paper (PPoPP 2023): hash-table throughput (Figure 7), skiplist throughput
-// (Figure 8), and skiplist latency (Figure 10). Backends are resolved by
-// name through the internal/txengine registry; -systems selects a subset.
+// (Figure 8), and skiplist latency (Figure 10) — and runs the cross-engine
+// composition workloads of internal/workload (-workload). Backends are
+// resolved by name through the internal/txengine registry; -systems selects
+// a subset. Every throughput table includes the engine's uniform
+// commit/abort/retry stats for the measured interval.
 //
 // Examples:
 //
@@ -10,7 +13,9 @@
 //	medleybench -figure 8 -systems medley,lftt
 //	medleybench -figure 7 -systems boost  # the boosted lock-based map
 //	medleybench -figure 10                # latency: Original / TxOff / TxOn
-//	medleybench -list                     # registered engines
+//	medleybench -workload workqueue -systems medley,original
+//	medleybench -workload all             # workqueue, cache, transfer
+//	medleybench -list                     # registered engines + workloads
 //
 // Scale 1.0 reproduces the paper's 1M-key / 0.5M-preload configuration;
 // the default 0.1 keeps runs laptop-sized. Shapes, not absolute numbers,
@@ -29,10 +34,12 @@ import (
 	"medley/internal/bench"
 	"medley/internal/pnvm"
 	"medley/internal/txengine"
+	"medley/internal/workload"
 )
 
 func main() {
 	figure := flag.String("figure", "7", "7 | 8 | 10 (also 10a/10b/10c)")
+	wlFlag := flag.String("workload", "", "composition workload instead of a figure: workqueue | cache | transfer | all")
 	ratio := flag.String("ratio", "", "get:insert:remove ratio (default: all of 0:1:1, 2:1:1, 18:1:1)")
 	systemsFlag := flag.String("systems", "", "comma-separated engine names (default: every capable engine; see -list)")
 	list := flag.Bool("list", false, "list registered engines and exit")
@@ -46,6 +53,10 @@ func main() {
 		for _, b := range txengine.Builders() {
 			fmt.Printf("%-10s %s\n", b.Key, b.Doc)
 		}
+		fmt.Println()
+		for _, sc := range workload.Scenarios() {
+			fmt.Printf("%-10s workload: %s (engines: %s)\n", sc.Key, sc.Doc, strings.Join(workload.Engines(sc.Key), ","))
+		}
 		return
 	}
 
@@ -53,6 +64,11 @@ func main() {
 	threads := parseThreads(*threadsFlag)
 	opt := bench.Options{Latencies: pnvm.DefaultLatencies(), EpochLen: *epochLen}
 	fmt.Printf("# host: GOMAXPROCS=%d; scale=%.2f; dur=%v\n", runtime.GOMAXPROCS(0), *scale, *dur)
+
+	if *wlFlag != "" {
+		runWorkloads(*wlFlag, *systemsFlag, threads, *dur, *scale, *epochLen)
+		return
+	}
 
 	switch *figure {
 	case "7", "8":
@@ -89,13 +105,15 @@ func main() {
 		for _, r := range ratios {
 			wl := bench.PaperWorkload(r[0], r[1], r[2], *scale)
 			fmt.Printf("\n## %s, get:insert:remove = %s\n", figName, wl.Ratio())
-			fmt.Printf("%-16s %8s %14s\n", "system", "threads", "txn/s")
+			fmt.Printf("%-16s %8s %14s %12s %10s %10s\n", "system", "threads", "txn/s", "commits", "aborts", "retries")
 			for _, name := range systems {
 				for _, th := range threads {
 					sys := mustSystem(name, kind, wl, opt)
 					res := bench.RunThroughput(sys, wl, th, *dur)
 					sys.Close()
-					fmt.Printf("%-16s %8d %14.0f\n", res.System, res.Threads, res.Throughput)
+					fmt.Printf("%-16s %8d %14.0f %12d %10d %10d\n",
+						res.System, res.Threads, res.Throughput,
+						res.Stats.Commits, res.Stats.Aborts, res.Stats.Retries)
 				}
 			}
 		}
@@ -159,6 +177,86 @@ func splitList(s string) []string {
 		}
 	}
 	return out
+}
+
+// runWorkloads drives the internal/workload scenarios: each selected
+// workload over each selected engine at each thread count, with the
+// engine's uniform stats and the scenario's audit counters per row.
+func runWorkloads(wlFlag, systemsFlag string, threads []int, dur time.Duration, scale float64, epochLen time.Duration) {
+	wls := splitList(wlFlag)
+	if wlFlag == "all" {
+		wls = workload.Names()
+	}
+	// Fail fast on bad selections, before the first (potentially long)
+	// measurement sweep runs: unknown names always abort, as does an engine
+	// that can host none of the selected workloads. An engine capable of
+	// only some of several selected workloads has the incapable pairs
+	// skipped with a notice, so `-workload all -systems onefile` runs the
+	// map scenarios instead of dying on the queue one.
+	for _, name := range wls {
+		if _, ok := workload.Lookup(name); !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q (have %s)\n", name, strings.Join(workload.Names(), ", "))
+			os.Exit(2)
+		}
+	}
+	if systemsFlag != "" {
+		for _, engine := range splitList(systemsFlag) {
+			b, ok := txengine.Lookup(engine)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown engine %q (see -list)\n", engine)
+				os.Exit(2)
+			}
+			var firstErr error
+			capable := 0
+			for _, name := range wls {
+				sc, _ := workload.Lookup(name)
+				if err := sc.CanRun(b); err == nil {
+					capable++
+				} else if firstErr == nil {
+					firstErr = err
+				}
+			}
+			if capable == 0 {
+				fmt.Fprintln(os.Stderr, firstErr)
+				os.Exit(2)
+			}
+		}
+	}
+	for _, name := range wls {
+		sc, _ := workload.Lookup(name)
+		systems := workload.Engines(name)
+		if systemsFlag != "" {
+			systems = nil
+			for _, engine := range splitList(systemsFlag) {
+				b, _ := txengine.Lookup(engine)
+				if err := sc.CanRun(b); err != nil {
+					fmt.Fprintf(os.Stderr, "# skipping %s on %s: %v\n", name, engine, err)
+					continue
+				}
+				systems = append(systems, engine)
+			}
+		}
+		fmt.Printf("\n## workload %s (%s)\n", name, sc.Doc)
+		fmt.Printf("%-12s %8s %14s %12s %10s %10s %10s  %s\n",
+			"system", "threads", "txn/s", "commits", "aborts", "retries", "fallbacks", "audit")
+		for _, engine := range systems {
+			for _, th := range threads {
+				cfg := workload.Config{
+					Threads: th, Dur: dur, Scale: scale,
+					Latencies: pnvm.DefaultLatencies(), EpochLen: epochLen,
+				}
+				res, err := workload.Run(name, engine, cfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				fmt.Printf("%-12s %8d %14.0f %12d %10d %10d %10d  %s\n",
+					res.System, res.Threads, res.Throughput,
+					res.Stats.Commits, res.Stats.Aborts, res.Stats.Retries, res.Stats.Fallbacks,
+					res.AuxString())
+			}
+		}
+	}
 }
 
 func mustSystem(name string, kind txengine.MapKind, wl bench.Workload, opt bench.Options) bench.System {

@@ -82,7 +82,7 @@ func main() {
 	opt := tpcc.StoreOptions{Latencies: pnvm.DefaultLatencies(), EpochLen: *epochLen}
 	fmt.Printf("# host: GOMAXPROCS=%d; warehouses=%d; dur=%v\n", runtime.GOMAXPROCS(0), *warehouses, *dur)
 	fmt.Printf("\n## Figure 9 (TPC-C newOrder:payment 1:1)\n")
-	fmt.Printf("%-12s %8s %14s\n", "system", "threads", "txn/s")
+	fmt.Printf("%-12s %8s %14s %12s %10s %10s\n", "system", "threads", "txn/s", "commits", "aborts", "retries")
 
 	for _, name := range systems {
 		for _, th := range threads {
@@ -94,7 +94,9 @@ func main() {
 			tpcc.Load(st, cfg)
 			res := tpcc.Run(st, cfg, th, *dur)
 			st.Close()
-			fmt.Printf("%-12s %8d %14.0f\n", res.System, res.Threads, res.Throughput)
+			fmt.Printf("%-12s %8d %14.0f %12d %10d %10d\n",
+				res.System, res.Threads, res.Throughput,
+				res.Stats.Commits, res.Stats.Aborts, res.Stats.Retries)
 		}
 	}
 }

@@ -1,0 +1,54 @@
+// Package examples holds runnable demonstration programs; this smoke test
+// builds and runs each one (go test ./examples), so a refactor that breaks
+// an example — or an example whose printed invariants stop holding — fails
+// CI rather than rotting silently. Skipped under -short: the examples run
+// real (seconds-long) workloads.
+package examples
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// runs lists each example package with the final line its main must reach
+// (all examples panic on invariant violations, so reaching the last print
+// means the demonstrated property held).
+var runs = []struct {
+	name   string
+	args   []string
+	expect string
+}{
+	{"quickstart", nil, ""},
+	{"persistence", nil, ""},
+	{"workqueue", nil, "composition held"},
+	{"workqueue-original", []string{"-engine", "original"}, "best-effort"},
+	{"tpcc", nil, "invariants hold"},
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run seconds-long workloads")
+	}
+	for _, r := range runs {
+		r := r
+		t.Run(r.name, func(t *testing.T) {
+			dir := strings.SplitN(r.name, "-", 2)[0]
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", append([]string{"run", "./examples/" + dir}, r.args...)...)
+			cmd.Dir = ".." // module root
+			cmd.Env = os.Environ()
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", dir, err, out)
+			}
+			if r.expect != "" && !strings.Contains(string(out), r.expect) {
+				t.Fatalf("output of %s missing %q:\n%s", r.name, r.expect, out)
+			}
+		})
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"medley/internal/txengine"
 )
 
 // OpKind selects a map operation.
@@ -96,6 +98,9 @@ type System interface {
 	Preload(wl Workload)
 	// NewWorker returns a per-thread handle.
 	NewWorker(tid int) Worker
+	// Stats snapshots the underlying engine's cumulative transaction
+	// outcomes (commits/aborts/retries/fallbacks).
+	Stats() txengine.Stats
 	// Close releases background resources (epoch advancers etc.).
 	Close()
 }
@@ -118,13 +123,15 @@ type Result struct {
 	Threads    int
 	Txns       uint64
 	Duration   time.Duration
-	Throughput float64 // transactions per second
+	Throughput float64        // transactions per second
+	Stats      txengine.Stats // engine stats delta over the measured run
 }
 
 // RunThroughput drives threads workers for dur and reports aggregate
-// transaction throughput.
+// transaction throughput plus the engine's stats delta (preload excluded).
 func RunThroughput(sys System, wl Workload, threads int, dur time.Duration) Result {
 	sys.Preload(wl)
+	base := sys.Stats()
 	var stop atomic.Bool
 	var total atomic.Uint64
 	var wg sync.WaitGroup
@@ -161,6 +168,7 @@ func RunThroughput(sys System, wl Workload, threads int, dur time.Duration) Resu
 		System: sys.Name(), Ratio: wl.Ratio(), Threads: threads,
 		Txns: txns, Duration: el,
 		Throughput: float64(txns) / el.Seconds(),
+		Stats:      sys.Stats().Delta(base),
 	}
 }
 
@@ -195,6 +203,7 @@ type LatencyResult struct {
 	Ratio   string
 	Threads int
 	NsPerTx float64
+	Stats   txengine.Stats // engine stats delta over the measured run
 }
 
 // RunLatency measures average wall-clock ns per transaction (or per op
@@ -202,6 +211,7 @@ type LatencyResult struct {
 // mirroring Figure 10's methodology.
 func RunLatency(sys System, wl Workload, mode LatencyMode, threads int, dur time.Duration) LatencyResult {
 	sys.Preload(wl)
+	base := sys.Stats()
 	var stop atomic.Bool
 	var totalTx atomic.Uint64
 	var wg sync.WaitGroup
@@ -235,6 +245,7 @@ func RunLatency(sys System, wl Workload, mode LatencyMode, threads int, dur time
 	return LatencyResult{
 		System: sys.Name(), Mode: mode, Ratio: wl.Ratio(), Threads: threads,
 		NsPerTx: ns,
+		Stats:   sys.Stats().Delta(base),
 	}
 }
 

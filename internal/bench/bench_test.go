@@ -125,3 +125,22 @@ func TestLatencyModes(t *testing.T) {
 		}
 	}
 }
+
+// Throughput results must surface the engine's uniform stats: the measured
+// interval's commits account for the measured transactions (preload
+// excluded via the delta).
+func TestThroughputSurfacesStats(t *testing.T) {
+	wl := PaperWorkload(2, 1, 1, 0.001)
+	sys, err := NewSystem("medley", txengine.KindHash, wl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	res := RunThroughput(sys, wl, 2, 50*time.Millisecond)
+	if res.Stats.Commits == 0 {
+		t.Fatalf("Result.Stats empty: %+v", res.Stats)
+	}
+	if res.Stats.Commits < res.Txns {
+		t.Fatalf("commits %d < measured txns %d", res.Stats.Commits, res.Txns)
+	}
+}

@@ -82,8 +82,9 @@ type engineSystem struct {
 	m    txengine.Map[uint64]
 }
 
-func (b *engineSystem) Name() string { return b.name }
-func (b *engineSystem) Close()       { b.eng.Close() }
+func (b *engineSystem) Name() string          { return b.name }
+func (b *engineSystem) Stats() txengine.Stats { return b.eng.Stats() }
+func (b *engineSystem) Close()                { b.eng.Close() }
 
 func (b *engineSystem) Preload(wl Workload) {
 	w := b.eng.NewWorker(-1)

@@ -16,7 +16,13 @@
 //     path: it logs the transaction's writes to NVM, fences, applies them,
 //     writes back every dirty line, and fences again before the transaction
 //     returns — which is why it trails periodic persistence by orders of
-//     magnitude.
+//     magnitude. Payload persistence is per-record (StagePersist), without
+//     a commit record: a crash landing *inside* WriteTx's persistence
+//     window could recover a prefix of one transaction's records. Real
+//     OneFile closes that window with its redo log; the simulated device
+//     only crashes between transactions (pnvm.Device.Crash is external),
+//     so the failure-atomicity the recovery tests assert is the one this
+//     model can express.
 //
 // Substitution note (documented in DESIGN.md): real OneFile achieves
 // wait-freedom by publishing each transaction as a closure that all threads
@@ -48,16 +54,39 @@ type STM struct {
 	undo  []func()
 	dirty int
 
+	// staged payload updates of the current write transaction and the
+	// (structure, key) → live-record index of the whole store, guarded by
+	// wlock. Only structures that stage payloads (see StagePersist) are
+	// recoverable; unstaged dirty lines still pay the simulated redo-log
+	// cost. The index is namespaced per structure (sid) so one map's
+	// update never retires another map's record for the same key.
+	staged  []stagedKV
+	keyIDs  map[persistKey]uint64
+	nextSID atomic.Uint64
+
 	commits atomic.Uint64
 	aborts  atomic.Uint64
 }
+
+type stagedKV struct {
+	sid, key uint64
+	val      []byte // nil: removal
+}
+
+type persistKey struct{ sid, key uint64 }
 
 // New creates a transient OneFile-lite STM.
 func New() *STM { return &STM{} }
 
 // NewPersistent creates a POneFile-style STM that persists each write
 // transaction eagerly through dev.
-func NewPersistent(dev *pnvm.Device) *STM { return &STM{dev: dev} }
+func NewPersistent(dev *pnvm.Device) *STM {
+	return &STM{dev: dev, keyIDs: make(map[persistKey]uint64)}
+}
+
+// NewPersistSID allocates a structure id for one persistent structure's
+// StagePersist calls.
+func (st *STM) NewPersistSID() uint64 { return st.nextSID.Add(1) }
 
 // ReadTx runs fn as an optimistic read-only transaction, retrying until it
 // observes a quiescent sequence across its whole execution. fn must be pure
@@ -88,6 +117,7 @@ func (st *STM) WriteTx(fn func() error) error {
 	st.wlock.Lock()
 	defer st.wlock.Unlock()
 	st.undo = st.undo[:0]
+	st.staged = st.staged[:0]
 	st.dirty = 0
 	st.seq.Add(1) // odd: readers hold off
 	err := fn()
@@ -100,23 +130,70 @@ func (st *STM) WriteTx(fn func() error) error {
 		return err
 	}
 	if st.dev != nil {
-		// POneFile: redo log to NVM, fence, then write back each dirty
-		// line, fence — all on the critical path.
-		for i := 0; i < st.dirty; i++ {
+		// POneFile: persist eagerly on the critical path. Dirty lines
+		// without a staged payload pay the redo-log cost only (transient
+		// bookkeeping records, dropped immediately).
+		for i := len(st.staged); i < st.dirty; i++ {
 			id, werr := st.dev.Write(0, nil, 0)
 			if werr == nil {
 				st.dev.WriteBack(id)
-				// The log entry is transient bookkeeping; drop it so the
-				// simulated DIMM does not accumulate unbounded state.
 				st.dev.Delete(id)
 			}
 		}
+		// Staged payloads become durable records before the transaction
+		// returns: write + write back each, fence.
+		ids := make([]uint64, len(st.staged))
+		for i, p := range st.staged {
+			if p.val == nil {
+				continue
+			}
+			if id, werr := st.dev.Write(p.key, p.val, 0); werr == nil {
+				st.dev.WriteBack(id)
+				ids[i] = id
+			}
+		}
 		st.dev.Fence()
+		// Then durably retire every superseded or removed record. A crash
+		// between the fences leaves both versions live; recovery keeps the
+		// newer allocation (see LiveKV).
+		claim := st.seq.Load()
+		var dead []uint64
+		for i, p := range st.staged {
+			pk := persistKey{p.sid, p.key}
+			if old, ok := st.keyIDs[pk]; ok {
+				if rerr := st.dev.Retire(old, 1, claim); rerr == nil {
+					st.dev.WriteBack(old)
+					dead = append(dead, old)
+				}
+			}
+			if p.val == nil {
+				delete(st.keyIDs, pk)
+			} else if ids[i] != 0 {
+				st.keyIDs[pk] = ids[i]
+			}
+		}
 		st.dev.Fence()
+		// Past the fence the retirements are durable; drop the dead records
+		// so the simulated DIMM does not accumulate one per overwrite.
+		for _, id := range dead {
+			st.dev.Delete(id)
+		}
 	}
 	st.seq.Add(1)
 	st.commits.Add(1)
 	return nil
+}
+
+// StagePersist stages one payload update of the current write transaction:
+// structure sid's key now binds to val (nil val: key removed). Durable iff
+// the transaction commits; staged entries of aborted transactions are
+// discarded. Must only be called from inside WriteTx's fn on a persistent
+// STM, with a sid from NewPersistSID.
+func (st *STM) StagePersist(sid, key uint64, val []byte) {
+	if st.dev == nil {
+		return
+	}
+	st.staged = append(st.staged, stagedKV{sid: sid, key: key, val: val})
 }
 
 // LogUndo registers compensation for one mutation of the current write
@@ -129,4 +206,31 @@ func (st *STM) LogUndo(f func()) {
 // Stats returns commit/abort counters (reads + writes combined).
 func (st *STM) Stats() (commits, aborts uint64) {
 	return st.commits.Load(), st.aborts.Load()
+}
+
+// Device returns the simulated NVM device (nil for the transient variant).
+func (st *STM) Device() *pnvm.Device { return st.dev }
+
+// LiveKV reduces a post-crash device dump (pnvm.Device.Recover output) to
+// the surviving key → payload bindings: records durably retired before the
+// crash are dropped, and where an update's old and new records both
+// survived (crash between the two persistence fences), the newer allocation
+// wins. Device records carry only the raw key, so distinct structures that
+// persisted the same key recover merged (newest wins) — the same modeling
+// caveat as the montage layer, whose demos tag key spaces per structure.
+func LiveKV(recs []pnvm.Record) map[uint64][]byte {
+	best := make(map[uint64]pnvm.Record, len(recs))
+	for _, r := range recs {
+		if r.Retire != 0 {
+			continue
+		}
+		if b, ok := best[r.Key]; !ok || r.ID > b.ID {
+			best[r.Key] = r
+		}
+	}
+	out := make(map[uint64][]byte, len(best))
+	for k, r := range best {
+		out[k] = r.Val
+	}
+	return out
 }

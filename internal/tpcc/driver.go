@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"medley/internal/txengine"
 )
 
 // Result is one measured TPC-C throughput point.
@@ -13,13 +15,15 @@ type Result struct {
 	Threads    int
 	Txns       uint64
 	Duration   time.Duration
-	Throughput float64 // transactions per second (newOrder + payment)
+	Throughput float64        // transactions per second (newOrder + payment)
+	Stats      txengine.Stats // engine stats delta over the measured run
 }
 
 // Run drives the newOrder:payment 1:1 mix (Figure 9's methodology) with the
 // given thread count for dur, and reports aggregate throughput. The store
 // must already be loaded.
 func Run(st Store, cfg Config, threads int, dur time.Duration) Result {
+	base := st.Stats()
 	var stop atomic.Bool
 	var total atomic.Uint64
 	var wg sync.WaitGroup
@@ -61,5 +65,6 @@ func Run(st Store, cfg Config, threads int, dur time.Duration) Result {
 	return Result{
 		System: st.Name(), Threads: threads, Txns: txns, Duration: el,
 		Throughput: float64(txns) / el.Seconds(),
+		Stats:      st.Stats().Delta(base),
 	}
 }

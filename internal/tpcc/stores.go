@@ -102,6 +102,9 @@ type engineStore struct {
 // Name implements Store.
 func (st *engineStore) Name() string { return st.eng.Name() }
 
+// Stats implements Store.
+func (st *engineStore) Stats() txengine.Stats { return st.eng.Stats() }
+
 // Close implements Store.
 func (st *engineStore) Close() { st.eng.Close() }
 

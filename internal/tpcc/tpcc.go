@@ -14,6 +14,8 @@ package tpcc
 import (
 	"errors"
 	"math/rand/v2"
+
+	"medley/internal/txengine"
 )
 
 // Table identifies one TPC-C table.
@@ -151,6 +153,9 @@ type Worker interface {
 type Store interface {
 	Name() string
 	NewWorker(tid int) Worker
+	// Stats snapshots the underlying engine's cumulative transaction
+	// outcomes (commits/aborts/retries/fallbacks).
+	Stats() txengine.Stats
 	Close()
 }
 

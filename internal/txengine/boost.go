@@ -15,6 +15,7 @@ const boostCaps = CapTx | CapDynamicTx | CapNoTx | CapHashMap | CapRowMaps
 type boostEngine struct {
 	mgr    *core.TxManager
 	shards int
+	ct     counters
 }
 
 func newBoostEngine(cfg Config) (Engine, error) {
@@ -27,7 +28,12 @@ func newBoostEngine(cfg Config) (Engine, error) {
 
 func (e *boostEngine) Name() string { return "Boost" }
 func (e *boostEngine) Caps() Caps   { return boostCaps }
+func (e *boostEngine) Stats() Stats { return e.ct.snapshot() }
 func (e *boostEngine) Close()       {}
+
+// NewUintQueue is unsupported: queue operations have no inverse, which is
+// precisely the boosting limitation the paper leads with.
+func (e *boostEngine) NewUintQueue() (Queue[uint64], error) { return nil, ErrUnsupported }
 
 // lockShards derives a map's lock-shard count from the spec's sizing hint.
 // Shards only bound the lock-table map sizes — every key already has its
@@ -56,7 +62,7 @@ func (e *boostEngine) NewRowMap(spec MapSpec) (Map[any], error) {
 	return boostMap[any]{m: boost.NewMap[any](e.lockShards(spec))}, nil
 }
 
-func (e *boostEngine) NewWorker(int) Tx { return &boostTx{s: e.mgr.Session()} }
+func (e *boostEngine) NewWorker(int) Tx { return &boostTx{s: e.mgr.Session(), ct: &e.ct} }
 
 // boostTx layers attempt state over a Medley session. A semantic-lock
 // conflict aborts the session's transaction immediately (boost.Do calls
@@ -68,12 +74,13 @@ func (e *boostEngine) NewWorker(int) Tx { return &boostTx{s: e.mgr.Session()} }
 // the attempt but is never retried.
 type boostTx struct {
 	s          *core.Session
+	ct         *counters
 	doomed     bool // current attempt is dead; remaining map ops no-op
 	conflicted bool // doomed by a semantic-lock conflict: retry
 }
 
 func (t *boostTx) Run(fn func() error) error {
-	err := t.s.Run(func() error {
+	err := t.ct.countRun(t.s.Run, func() error {
 		t.doomed, t.conflicted = false, false
 		err := fn()
 		if t.conflicted {

@@ -1,0 +1,216 @@
+package txengine
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// fuzzOp is one randomly generated map operation.
+type fuzzOp struct {
+	kind int // 0 get, 1 put, 2 insert, 3 remove
+	k, v uint64
+}
+
+// TestFuzzConformance applies random transaction sequences to every
+// registered engine and to a per-worker sequential model map, and compares
+// results. Each worker owns a disjoint key range, so its model is exact
+// even though all workers run concurrently (the concurrency still
+// exercises shared engine machinery — descriptors, version clocks, the
+// writer lock — under the race detector); two extra chaos workers hammer a
+// shared range without a model to force real conflicts. Business aborts
+// are injected to check rollback: the model ignores aborted blocks.
+func TestFuzzConformance(t *testing.T) {
+	const (
+		workers  = 4
+		chaos    = 2
+		iters    = 1500
+		rangeLen = 64
+	)
+	errBiz := errors.New("fuzz: deliberate abort")
+	for _, b := range Builders() {
+		b := b
+		t.Run(b.Key, func(t *testing.T) {
+			eng := buildForTest(t, b)
+			defer eng.Close()
+			m, err := eng.NewUintMap(testSpec(b.Caps))
+			if err != nil {
+				t.Fatal(err)
+			}
+			txCapable := b.Caps.Has(CapTx)
+			dynamic := b.Caps.Has(CapDynamicTx)
+
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					tx := eng.NewWorker(w)
+					rng := rand.New(rand.NewPCG(uint64(w)+1, 0xfeed))
+					model := make(map[uint64]uint64, rangeLen)
+					base := uint64(w+1) << 32
+					key := func() uint64 { return base + rng.Uint64N(rangeLen) }
+					genOps := func() []fuzzOp {
+						ops := make([]fuzzOp, 1+rng.IntN(6))
+						for i := range ops {
+							ops[i] = fuzzOp{kind: rng.IntN(4), k: key(), v: rng.Uint64()}
+						}
+						return ops
+					}
+					// applyModel folds ops into the model, returning the
+					// expected results.
+					applyModel := func(ops []fuzzOp, model map[uint64]uint64) []fuzzOp {
+						out := make([]fuzzOp, len(ops))
+						for i, op := range ops {
+							prev, had := model[op.k]
+							out[i] = fuzzOp{k: prev, v: b2u(had)}
+							switch op.kind {
+							case 1:
+								model[op.k] = op.v
+							case 2:
+								if !had {
+									model[op.k] = op.v
+									out[i].v = 1 // insert reports success
+								} else {
+									out[i].v = 0
+								}
+							case 3:
+								delete(model, op.k)
+							}
+						}
+						return out
+					}
+					sweep := func() {
+						for k := base; k < base+rangeLen; k++ {
+							got, ok := m.Get(tx, k)
+							want, wok := model[k]
+							if ok != wok || (ok && got != want) {
+								t.Errorf("%s worker %d: key %d = %d,%v; model %d,%v",
+									b.Key, w, k, got, ok, want, wok)
+								return
+							}
+						}
+					}
+					for i := 0; i < iters; i++ {
+						ops := genOps()
+						if !txCapable {
+							// Original: operations run bare; apply one group
+							// non-transactionally and fold into the model.
+							want := applyModel(ops, model)
+							tx.NoTx(func() {
+								for j, op := range ops {
+									switch op.kind {
+									case 0:
+										if v, ok := m.Get(tx, op.k); ok != (want[j].v == 1) || (ok && v != want[j].k) {
+											t.Errorf("original get mismatch")
+										}
+									case 1:
+										m.Put(tx, op.k, op.v)
+									case 2:
+										m.Insert(tx, op.k, op.v)
+									case 3:
+										m.Remove(tx, op.k)
+									}
+								}
+							})
+							continue
+						}
+						abort := rng.IntN(10) == 0
+						got := make([]fuzzOp, len(ops))
+						err := tx.Run(func() error {
+							for j, op := range ops {
+								switch op.kind {
+								case 0:
+									v, ok := m.Get(tx, op.k)
+									got[j] = fuzzOp{k: v, v: b2u(ok)}
+								case 1:
+									v, ok := m.Put(tx, op.k, op.v)
+									got[j] = fuzzOp{k: v, v: b2u(ok)}
+								case 2:
+									ok := m.Insert(tx, op.k, op.v)
+									got[j] = fuzzOp{v: b2u(ok)}
+								case 3:
+									v, ok := m.Remove(tx, op.k)
+									got[j] = fuzzOp{k: v, v: b2u(ok)}
+								}
+							}
+							if abort {
+								return errBiz
+							}
+							return nil
+						})
+						if abort {
+							if !errors.Is(err, errBiz) {
+								t.Errorf("%s: aborted tx returned %v", b.Key, err)
+								return
+							}
+							// Rolled back: the model is untouched.
+						} else {
+							if err != nil {
+								t.Errorf("%s: %v", b.Key, err)
+								return
+							}
+							want := applyModel(ops, model)
+							if dynamic {
+								for j := range ops {
+									// Compare prev-value results of the
+									// committed attempt (insert: success bit
+									// only).
+									if ops[j].kind == 2 {
+										if got[j].v != want[j].v {
+											t.Errorf("%s worker %d iter %d op %d: insert=%v want %v",
+												b.Key, w, i, j, got[j].v, want[j].v)
+											return
+										}
+										continue
+									}
+									if got[j].v != want[j].v || (got[j].v == 1 && got[j].k != want[j].k) {
+										t.Errorf("%s worker %d iter %d op %d (kind %d): got %d,%d want %d,%d",
+											b.Key, w, i, j, ops[j].kind, got[j].k, got[j].v, want[j].k, want[j].v)
+										return
+									}
+								}
+							}
+						}
+						if i%100 == 0 {
+							sweep()
+						}
+					}
+					sweep()
+				}(w)
+			}
+			// Chaos workers: force real conflicts on a shared key range; no
+			// model, just load.
+			if txCapable {
+				for c := 0; c < chaos; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						tx := eng.NewWorker(workers + c)
+						rng := rand.New(rand.NewPCG(uint64(c)+99, 0xc0ffee))
+						for i := 0; i < iters; i++ {
+							k := rng.Uint64N(8)
+							_ = tx.Run(func() error {
+								if v, ok := m.Get(tx, k); ok {
+									m.Put(tx, k, v+1)
+								} else {
+									m.Insert(tx, k, 1)
+								}
+								return nil
+							})
+						}
+					}(c)
+				}
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -14,27 +14,34 @@ const lfttCaps = CapTx | CapSkipMap
 // transaction when fn returns. In-transaction reads therefore return zero
 // values (no CapDynamicTx), which is why LFTT cannot run TPC-C, exactly as
 // the paper notes.
-type lfttEngine struct{}
+type lfttEngine struct {
+	ct counters
+}
 
-func newLFTTEngine(Config) (Engine, error) { return lfttEngine{}, nil }
+func newLFTTEngine(Config) (Engine, error) { return &lfttEngine{}, nil }
 
-func (lfttEngine) Name() string { return "LFTT" }
-func (lfttEngine) Caps() Caps   { return lfttCaps }
-func (lfttEngine) Close()       {}
+func (*lfttEngine) Name() string { return "LFTT" }
+func (*lfttEngine) Caps() Caps   { return lfttCaps }
+func (e *lfttEngine) Stats() Stats {
+	return e.ct.snapshot()
+}
+func (*lfttEngine) Close() {}
 
-func (lfttEngine) NewUintMap(spec MapSpec) (Map[uint64], error) {
+func (*lfttEngine) NewUintMap(spec MapSpec) (Map[uint64], error) {
 	if spec.Kind == KindHash {
 		return nil, ErrUnsupported
 	}
 	return &lfttMap{sl: lftt.New()}, nil
 }
 
-func (lfttEngine) NewRowMap(MapSpec) (Map[any], error) { return nil, ErrUnsupported }
+func (*lfttEngine) NewRowMap(MapSpec) (Map[any], error) { return nil, ErrUnsupported }
+
+func (*lfttEngine) NewUintQueue() (Queue[uint64], error) { return nil, ErrUnsupported }
 
 // NewWorker seeds each worker's backoff jitter from tid so mutually
 // conflicting workers don't retry in lockstep.
-func (lfttEngine) NewWorker(tid int) Tx {
-	return &lfttTx{bo: backoff{rng: uint64(tid)*2654435769 + 0x9e3779b97f4a7c15}}
+func (e *lfttEngine) NewWorker(tid int) Tx {
+	return &lfttTx{ct: &e.ct, bo: backoff{rng: uint64(tid)*2654435769 + 0x9e3779b97f4a7c15}}
 }
 
 // lfttTx buffers one static transaction per Run. ExecuteTx re-executes the
@@ -43,12 +50,15 @@ func (lfttEngine) NewWorker(tid int) Tx {
 // at high thread counts (the same discipline as core.Session.backoff).
 type lfttTx struct {
 	sl   *lftt.SkipList // the one map the buffered transaction targets
+	ct   *counters
 	buf  []lftt.Op
 	inTx bool
 	err  error
 	bo   backoff
 }
 
+// Run counts its own stats: the retry loop re-executes the buffered static
+// transaction, not fn, so the shared countRun wrapper would miss retries.
 func (t *lfttTx) Run(fn func() error) error {
 	t.inTx = true
 	t.sl = nil
@@ -57,25 +67,34 @@ func (t *lfttTx) Run(fn func() error) error {
 	err := fn()
 	t.inTx = false
 	if err != nil {
+		t.ct.aborts.Add(1)
 		return err // business abort: buffered ops are discarded, no retry
 	}
 	if t.err != nil {
+		t.ct.aborts.Add(1)
 		return t.err
 	}
 	if len(t.buf) == 0 {
+		t.ct.commits.Add(1)
 		return nil
 	}
 	for attempt := 0; ; attempt++ {
 		if _, ok := t.sl.ExecuteTx(t.buf); ok {
+			t.ct.commits.Add(1)
 			return nil
 		}
+		t.ct.aborts.Add(1)
+		t.ct.retries.Add(1)
 		t.bo.wait(attempt)
 	}
 }
 
 func (t *lfttTx) RunRead(fn func()) { _ = t.Run(func() error { fn(); return nil }) }
-func (t *lfttTx) NoTx(fn func())    { _ = t.Run(func() error { fn(); return nil }) }
-func (t *lfttTx) Abort() error      { return ErrBusinessAbort }
+func (t *lfttTx) NoTx(fn func()) {
+	t.ct.fallbacks.Add(1)
+	_ = t.Run(func() error { fn(); return nil })
+}
+func (t *lfttTx) Abort() error { return ErrBusinessAbort }
 
 // stage appends an operation to the worker's buffered transaction.
 func (t *lfttTx) stage(sl *lftt.SkipList, ops ...lftt.Op) {

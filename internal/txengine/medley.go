@@ -8,10 +8,11 @@ import (
 	"medley/internal/pnvm"
 	"medley/internal/structures/fskiplist"
 	"medley/internal/structures/mhash"
+	"medley/internal/structures/msqueue"
 	"medley/internal/txmap"
 )
 
-const medleyCaps = CapTx | CapDynamicTx | CapNoTx | CapHashMap | CapSkipMap | CapRowMaps
+const medleyCaps = CapTx | CapDynamicTx | CapNoTx | CapHashMap | CapSkipMap | CapRowMaps | CapQueue
 
 // medleyEngine drives Medley transactional maps; with an epoch system
 // attached it is txMontage (Medley + periodic persistence over the
@@ -22,6 +23,7 @@ type medleyEngine struct {
 	es      *montage.EpochSys // non-nil for txMontage
 	codec   montage.Codec[any]
 	started bool
+	ct      counters
 }
 
 func newMedleyEngine(Config) (Engine, error) {
@@ -30,7 +32,11 @@ func newMedleyEngine(Config) (Engine, error) {
 
 func newTxMontageEngine(cfg Config) (Engine, error) {
 	mgr := core.NewTxManager()
-	es := montage.NewEpochSys(pnvm.New(cfg.Latencies))
+	dev := cfg.Device
+	if dev == nil {
+		dev = pnvm.New(cfg.Latencies)
+	}
+	es := montage.NewEpochSys(dev)
 	montage.Attach(mgr, es)
 	e := &medleyEngine{name: "txMontage", mgr: mgr, es: es, codec: cfg.RowCodec}
 	if cfg.EpochLen > 0 {
@@ -42,6 +48,7 @@ func newTxMontageEngine(cfg Config) (Engine, error) {
 
 func (e *medleyEngine) Name() string { return e.name }
 func (e *medleyEngine) Caps() Caps   { return medleyCaps }
+func (e *medleyEngine) Stats() Stats { return e.ct.snapshot() }
 
 func (e *medleyEngine) Close() {
 	if e.started {
@@ -52,6 +59,35 @@ func (e *medleyEngine) Close() {
 // EpochSys exposes the montage epoch system (nil for transient Medley), for
 // recovery demos and persistence tests.
 func (e *medleyEngine) EpochSys() *montage.EpochSys { return e.es }
+
+// Device implements Persister (nil for transient Medley).
+func (e *medleyEngine) Device() *pnvm.Device {
+	if e.es == nil {
+		return nil
+	}
+	return e.es.Device()
+}
+
+// Sync implements Persister: an epoch-boundary sync, after which everything
+// committed so far is durable.
+func (e *medleyEngine) Sync() {
+	if e.es != nil {
+		e.es.Sync()
+	}
+}
+
+// RecoverUintMap implements Persister: rebuilds a map from the live payloads
+// of a post-crash device dump on this engine's (fresh) epoch system.
+func (e *medleyEngine) RecoverUintMap(recs []pnvm.Record, spec MapSpec) (Map[uint64], error) {
+	if e.es == nil {
+		return nil, fmt.Errorf("txengine: %s is transient: %w", e.name, ErrUnsupported)
+	}
+	live := montage.LiveRecords(recs)
+	if spec.Kind == KindHash {
+		return txmapAdapter[uint64]{montage.RecoverHashMap(e.es, montage.Uint64Codec(), bucketsOr(spec, 1<<16), live)}, nil
+	}
+	return txmapAdapter[uint64]{montage.RecoverSkipMap(e.es, montage.Uint64Codec(), live)}, nil
+}
 
 func (e *medleyEngine) NewUintMap(spec MapSpec) (Map[uint64], error) {
 	if e.es != nil {
@@ -82,7 +118,14 @@ func (e *medleyEngine) NewRowMap(spec MapSpec) (Map[any], error) {
 	return txmapAdapter[any]{fskiplist.New[uint64, any]()}, nil
 }
 
-func (e *medleyEngine) NewWorker(int) Tx { return &sessionTx{s: e.mgr.Session()} }
+// NewUintQueue returns an NBTC-transformed Michael & Scott queue. The queue
+// itself is transient even under txMontage: the paper's queue carries no
+// payload persistence, and composition with persistent maps stays atomic.
+func (e *medleyEngine) NewUintQueue() (Queue[uint64], error) {
+	return msQueueAdapter{q: msqueue.New[uint64]()}, nil
+}
+
+func (e *medleyEngine) NewWorker(int) Tx { return &sessionTx{s: e.mgr.Session(), ct: &e.ct} }
 
 func bucketsOr(spec MapSpec, def int) int {
 	if spec.Buckets > 0 {
@@ -95,13 +138,14 @@ func bucketsOr(spec MapSpec, def int) int {
 // are usable both inside and outside transactions, so NoTx is genuinely
 // uninstrumented.
 type sessionTx struct {
-	s *core.Session
+	s  *core.Session
+	ct *counters
 }
 
-func (t *sessionTx) Run(fn func() error) error { return t.s.Run(fn) }
+func (t *sessionTx) Run(fn func() error) error { return t.ct.countRun(t.s.Run, fn) }
 
 func (t *sessionTx) RunRead(fn func()) {
-	_ = t.s.Run(func() error { fn(); return nil })
+	_ = t.Run(func() error { fn(); return nil })
 }
 
 func (t *sessionTx) NoTx(fn func()) { fn() }
@@ -125,3 +169,11 @@ func (a txmapAdapter[V]) Insert(tx Tx, k uint64, v V) bool {
 	return a.m.Insert(tx.(*sessionTx).s, k, v)
 }
 func (a txmapAdapter[V]) Remove(tx Tx, k uint64) (V, bool) { return a.m.Remove(tx.(*sessionTx).s, k) }
+
+// msQueueAdapter lifts the session-based M&S queue to an engine Queue.
+type msQueueAdapter struct{ q *msqueue.Queue[uint64] }
+
+func (a msQueueAdapter) Enqueue(tx Tx, v uint64) { a.q.Enqueue(tx.(*sessionTx).s, v) }
+func (a msQueueAdapter) Dequeue(tx Tx) (uint64, bool) {
+	return a.q.Dequeue(tx.(*sessionTx).s)
+}

@@ -1,6 +1,9 @@
 package txengine
 
 import (
+	"fmt"
+
+	"medley/internal/montage"
 	"medley/internal/onefile"
 	"medley/internal/pnvm"
 )
@@ -9,11 +12,15 @@ const onefileCaps = CapTx | CapDynamicTx | CapHashMap | CapSkipMap | CapRowMaps
 
 // onefileEngine drives OneFile-lite: writers serialized through one global
 // sequence, optimistic readers. The persistent variant (POneFile) persists
-// eagerly on the critical path. There is no uninstrumented mode — NoTx
+// eagerly on the critical path; its uint64 maps (and row maps given a
+// Config.RowCodec) stage real payload records, so POneFile state is
+// recoverable after a crash. There is no uninstrumented mode — NoTx
 // delegates to Run, as the baseline did in the paper's harness.
 type onefileEngine struct {
-	name string
-	st   *onefile.STM
+	name  string
+	st    *onefile.STM
+	codec montage.Codec[any]
+	ct    counters
 }
 
 func newOneFileEngine(Config) (Engine, error) {
@@ -21,32 +28,87 @@ func newOneFileEngine(Config) (Engine, error) {
 }
 
 func newPOneFileEngine(cfg Config) (Engine, error) {
-	return &onefileEngine{name: "POneFile", st: onefile.NewPersistent(pnvm.New(cfg.Latencies))}, nil
+	dev := cfg.Device
+	if dev == nil {
+		dev = pnvm.New(cfg.Latencies)
+	}
+	return &onefileEngine{name: "POneFile", st: onefile.NewPersistent(dev), codec: cfg.RowCodec}, nil
 }
 
 func (e *onefileEngine) Name() string { return e.name }
 func (e *onefileEngine) Caps() Caps   { return onefileCaps }
+func (e *onefileEngine) Stats() Stats { return e.ct.snapshot() }
 func (e *onefileEngine) Close()       {}
 
+// Device implements Persister (nil for transient OneFile).
+func (e *onefileEngine) Device() *pnvm.Device { return e.st.Device() }
+
+// Sync implements Persister: POneFile persists eagerly, so everything
+// committed is already durable.
+func (e *onefileEngine) Sync() {}
+
+// RecoverUintMap implements Persister: rebuilds a map from the surviving
+// payload records of a post-crash device dump.
+func (e *onefileEngine) RecoverUintMap(recs []pnvm.Record, spec MapSpec) (Map[uint64], error) {
+	if e.st.Device() == nil {
+		return nil, fmt.Errorf("txengine: %s is transient: %w", e.name, ErrUnsupported)
+	}
+	m, err := e.NewUintMap(spec)
+	if err != nil {
+		return nil, err
+	}
+	u64 := montage.Uint64Codec()
+	tx := e.NewWorker(-1)
+	for k, vb := range onefile.LiveKV(recs) {
+		m.Put(tx, k, u64.Dec(vb))
+	}
+	return m, nil
+}
+
 func (e *onefileEngine) NewUintMap(spec MapSpec) (Map[uint64], error) {
+	var stage func(k uint64, v uint64, del bool)
+	if e.st.Device() != nil {
+		u64 := montage.Uint64Codec()
+		sid := e.st.NewPersistSID()
+		stage = func(k uint64, v uint64, del bool) {
+			if del {
+				e.st.StagePersist(sid, k, nil)
+				return
+			}
+			e.st.StagePersist(sid, k, u64.Enc(v))
+		}
+	}
 	if spec.Kind == KindHash {
 		h := onefile.NewHash[uint64](e.st, bucketsOr(spec, 1<<16))
-		return ofMap[uint64]{get: h.Get, put: h.Put, ins: h.Insert, rem: h.Remove}, nil
+		return ofMap[uint64]{get: h.Get, put: h.Put, ins: h.Insert, rem: h.Remove, stage: stage}, nil
 	}
 	sl := onefile.NewSkipList[uint64](e.st)
-	return ofMap[uint64]{get: sl.Get, put: sl.Put, ins: sl.Insert, rem: sl.Remove}, nil
+	return ofMap[uint64]{get: sl.Get, put: sl.Put, ins: sl.Insert, rem: sl.Remove, stage: stage}, nil
 }
 
 func (e *onefileEngine) NewRowMap(spec MapSpec) (Map[any], error) {
+	var stage func(k uint64, v any, del bool)
+	if e.st.Device() != nil && e.codec.Enc != nil {
+		sid := e.st.NewPersistSID()
+		stage = func(k uint64, v any, del bool) {
+			if del {
+				e.st.StagePersist(sid, k, nil)
+				return
+			}
+			e.st.StagePersist(sid, k, e.codec.Enc(v))
+		}
+	}
 	if spec.Kind == KindHash {
 		h := onefile.NewHash[any](e.st, bucketsOr(spec, 1<<16))
-		return ofMap[any]{get: h.Get, put: h.Put, ins: h.Insert, rem: h.Remove}, nil
+		return ofMap[any]{get: h.Get, put: h.Put, ins: h.Insert, rem: h.Remove, stage: stage}, nil
 	}
 	sl := onefile.NewSkipList[any](e.st)
-	return ofMap[any]{get: sl.Get, put: sl.Put, ins: sl.Insert, rem: sl.Remove}, nil
+	return ofMap[any]{get: sl.Get, put: sl.Put, ins: sl.Insert, rem: sl.Remove, stage: stage}, nil
 }
 
-func (e *onefileEngine) NewWorker(int) Tx { return &onefileTx{st: e.st} }
+func (e *onefileEngine) NewUintQueue() (Queue[uint64], error) { return nil, ErrUnsupported }
+
+func (e *onefileEngine) NewWorker(int) Tx { return &onefileTx{st: e.st, ct: &e.ct} }
 
 // onefileTx routes Run through the STM's serialized write path and RunRead
 // through its optimistic sequence-validated read path. inTx/inRead track
@@ -56,6 +118,7 @@ func (e *onefileEngine) NewWorker(int) Tx { return &onefileTx{st: e.st} }
 // writes of an in-flight write transaction.
 type onefileTx struct {
 	st     *onefile.STM
+	ct     *counters
 	inTx   bool
 	inRead bool
 }
@@ -63,26 +126,31 @@ type onefileTx struct {
 func (t *onefileTx) Run(fn func() error) error {
 	t.inTx = true
 	defer func() { t.inTx = false }()
-	return t.st.WriteTx(fn)
+	return t.ct.countRun(t.st.WriteTx, fn)
 }
 
 func (t *onefileTx) RunRead(fn func()) {
 	t.inRead = true
 	defer func() { t.inRead = false }()
-	t.st.ReadTx(fn)
+	t.ct.countRead(t.st.ReadTx, fn)
 }
 
-func (t *onefileTx) NoTx(fn func()) { _ = t.Run(func() error { fn(); return nil }) }
-func (t *onefileTx) Abort() error   { return ErrBusinessAbort }
+func (t *onefileTx) NoTx(fn func()) {
+	t.ct.fallbacks.Add(1)
+	_ = t.Run(func() error { fn(); return nil })
+}
+func (t *onefileTx) Abort() error { return ErrBusinessAbort }
 
 // ofMap adapts one OneFile structure (hash or skiplist; both carry their
 // STM internally). Operations called outside Run/RunRead wrap themselves in
-// the appropriate transaction.
+// the appropriate transaction. Mutators of persistent maps stage payload
+// records (see onefile.StagePersist) alongside the DRAM mutation.
 type ofMap[V any] struct {
-	get func(uint64) (V, bool)
-	put func(uint64, V) (V, bool)
-	ins func(uint64, V) bool
-	rem func(uint64) (V, bool)
+	get   func(uint64) (V, bool)
+	put   func(uint64, V) (V, bool)
+	ins   func(uint64, V) bool
+	rem   func(uint64) (V, bool)
+	stage func(k uint64, v V, del bool) // nil: transient
 }
 
 func (m ofMap[V]) Get(tx Tx, k uint64) (v V, ok bool) {
@@ -106,9 +174,13 @@ func (m ofMap[V]) Put(tx Tx, k uint64, v V) (old V, had bool) {
 	t := tx.(*onefileTx)
 	t.mutable()
 	if t.inTx {
-		return m.put(k, v)
+		old, had = m.put(k, v)
+		if m.stage != nil {
+			m.stage(k, v, false)
+		}
+		return old, had
 	}
-	_ = t.Run(func() error { old, had = m.put(k, v); return nil })
+	_ = t.Run(func() error { old, had = m.Put(tx, k, v); return nil })
 	return old, had
 }
 
@@ -116,9 +188,13 @@ func (m ofMap[V]) Insert(tx Tx, k uint64, v V) (ok bool) {
 	t := tx.(*onefileTx)
 	t.mutable()
 	if t.inTx {
-		return m.ins(k, v)
+		ok = m.ins(k, v)
+		if ok && m.stage != nil {
+			m.stage(k, v, false)
+		}
+		return ok
 	}
-	_ = t.Run(func() error { ok = m.ins(k, v); return nil })
+	_ = t.Run(func() error { ok = m.Insert(tx, k, v); return nil })
 	return ok
 }
 
@@ -126,8 +202,13 @@ func (m ofMap[V]) Remove(tx Tx, k uint64) (old V, had bool) {
 	t := tx.(*onefileTx)
 	t.mutable()
 	if t.inTx {
-		return m.rem(k)
+		old, had = m.rem(k)
+		if had && m.stage != nil {
+			var zero V
+			m.stage(k, zero, true)
+		}
+		return old, had
 	}
-	_ = t.Run(func() error { old, had = m.rem(k); return nil })
+	_ = t.Run(func() error { old, had = m.Remove(tx, k); return nil })
 	return old, had
 }

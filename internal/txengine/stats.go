@@ -1,0 +1,99 @@
+package txengine
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats is a uniform snapshot of an engine's transaction outcomes, counted
+// at the adapter layer so that every backend reports the same events with
+// the same meaning regardless of where its retry loop lives:
+//
+//   - Commits: Run/RunRead calls that completed successfully (including
+//     transactions with no operations).
+//   - Aborts: transaction attempts that did not commit — conflict aborts
+//     that were retried plus business aborts that were passed through.
+//   - Retries: re-executions after a conflict abort (always ≤ Aborts;
+//     the difference is the business aborts).
+//   - Fallbacks: NoTx bodies the engine could not run uninstrumented and
+//     wrapped in a transaction instead (engines without CapNoTx).
+//
+// Standalone map operations called outside Run count only on engines that
+// implement them as one-shot transactions (OneFile, TDSL, LFTT); Medley and
+// Boost run them genuinely uninstrumented.
+type Stats struct {
+	Commits   uint64
+	Aborts    uint64
+	Retries   uint64
+	Fallbacks uint64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+	s.Retries += o.Retries
+	s.Fallbacks += o.Fallbacks
+}
+
+// Delta returns the counters accumulated since the prev snapshot.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Commits:   s.Commits - prev.Commits,
+		Aborts:    s.Aborts - prev.Aborts,
+		Retries:   s.Retries - prev.Retries,
+		Fallbacks: s.Fallbacks - prev.Fallbacks,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("commits=%d aborts=%d retries=%d fallbacks=%d",
+		s.Commits, s.Aborts, s.Retries, s.Fallbacks)
+}
+
+// counters is the shared engine-level accumulator behind Engine.Stats.
+// Fields are atomic: all of an engine's Tx handles bump the same instance.
+type counters struct {
+	commits, aborts, retries, fallbacks atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Commits:   c.commits.Load(),
+		Aborts:    c.aborts.Load(),
+		Retries:   c.retries.Load(),
+		Fallbacks: c.fallbacks.Load(),
+	}
+}
+
+// countRun wraps an engine's native closure-retrying Run (anything with the
+// shape "execute fn, re-executing it after conflict aborts") and accounts
+// one commit or terminal abort plus one abort+retry per extra execution.
+// Engines whose retry loop does not re-execute fn (LFTT's static
+// transactions) count inside their own loop instead.
+func (c *counters) countRun(run func(func() error) error, fn func() error) error {
+	execs := 0
+	err := run(func() error { execs++; return fn() })
+	if execs > 1 {
+		c.retries.Add(uint64(execs - 1))
+	}
+	if err == nil {
+		c.commits.Add(1)
+		c.aborts.Add(uint64(execs - 1))
+	} else {
+		c.aborts.Add(uint64(execs))
+	}
+	return err
+}
+
+// countRead is countRun for read-only paths that retry by re-executing fn
+// until a consistent snapshot is observed.
+func (c *counters) countRead(runRead func(func()), fn func()) {
+	execs := 0
+	runRead(func() { execs++; fn() })
+	c.commits.Add(1)
+	if execs > 1 {
+		c.retries.Add(uint64(execs - 1))
+		c.aborts.Add(uint64(execs - 1))
+	}
+}

@@ -13,6 +13,7 @@ const tdslCaps = CapTx | CapDynamicTx | CapSkipMap | CapRowMaps
 type tdslEngine struct {
 	tm      *tdsl.TM
 	stripes int
+	ct      counters
 }
 
 func newTDSLEngine(Config) (Engine, error) {
@@ -21,7 +22,10 @@ func newTDSLEngine(Config) (Engine, error) {
 
 func (e *tdslEngine) Name() string { return "TDSL" }
 func (e *tdslEngine) Caps() Caps   { return tdslCaps }
+func (e *tdslEngine) Stats() Stats { return e.ct.snapshot() }
 func (e *tdslEngine) Close()       {}
+
+func (e *tdslEngine) NewUintQueue() (Queue[uint64], error) { return nil, ErrUnsupported }
 
 func (e *tdslEngine) stripesFor(spec MapSpec) int {
 	if spec.Stripes > 0 {
@@ -44,26 +48,32 @@ func (e *tdslEngine) NewRowMap(spec MapSpec) (Map[any], error) {
 	return tdslMap[any]{m: tdsl.NewMap[any](e.stripesFor(spec))}, nil
 }
 
-func (e *tdslEngine) NewWorker(int) Tx { return &tdslTx{tm: e.tm} }
+func (e *tdslEngine) NewWorker(int) Tx { return &tdslTx{tm: e.tm, ct: &e.ct} }
 
 // tdslTx exposes the native tdsl.Tx of the current Run to the engine's
 // maps; outside Run, cur is nil and map operations auto-commit one-shot
 // transactions.
 type tdslTx struct {
 	tm  *tdsl.TM
+	ct  *counters
 	cur *tdsl.Tx
 }
 
 func (t *tdslTx) Run(fn func() error) error {
-	return t.tm.Run(func(tx *tdsl.Tx) error {
-		t.cur = tx
-		defer func() { t.cur = nil }()
-		return fn()
-	})
+	return t.ct.countRun(func(body func() error) error {
+		return t.tm.Run(func(tx *tdsl.Tx) error {
+			t.cur = tx
+			defer func() { t.cur = nil }()
+			return body()
+		})
+	}, fn)
 }
 
 func (t *tdslTx) RunRead(fn func()) { _ = t.Run(func() error { fn(); return nil }) }
-func (t *tdslTx) NoTx(fn func())    { _ = t.Run(func() error { fn(); return nil }) }
+func (t *tdslTx) NoTx(fn func()) {
+	t.ct.fallbacks.Add(1)
+	_ = t.Run(func() error { fn(); return nil })
+}
 
 // Abort relies on TDSL's write buffering: the transaction's writes are
 // simply never committed once fn returns a non-retry error.

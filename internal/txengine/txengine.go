@@ -66,6 +66,11 @@ const (
 	CapSkipMap
 	// CapRowMaps: NewRowMap is available (any-valued tables for TPC-C).
 	CapRowMaps
+	// CapQueue: NewUintQueue is available. Queues are the abstraction the
+	// paper uses to separate NBTC from boosting (no inverse operations) and
+	// LFTT (no critical "key" nodes), so only Medley-family engines and the
+	// untransformed Original baseline carry it.
+	CapQueue
 )
 
 // Has reports whether c contains every capability in want.
@@ -101,6 +106,10 @@ type Config struct {
 	// Latencies drives the simulated NVM device of persistent engines
 	// (txMontage, POneFile). The zero value costs nothing.
 	Latencies pnvm.Latencies
+	// Device, if non-nil, is the simulated NVM device persistent engines
+	// attach to instead of constructing their own from Latencies. Recovery
+	// tests use it to crash a device and rebuild an engine on the survivors.
+	Device *pnvm.Device
 	// EpochLen, if positive, starts txMontage's epoch advancer at this
 	// period; Close stops it.
 	EpochLen time.Duration
@@ -157,6 +166,17 @@ type Map[V any] interface {
 	Remove(tx Tx, k uint64) (V, bool)
 }
 
+// Queue is a transactional FIFO queue bound to the engine that created it.
+// Like Map, operations take the worker's own Tx and execute standalone when
+// called outside Run.
+type Queue[V any] interface {
+	// Enqueue appends v.
+	Enqueue(tx Tx, v V)
+	// Dequeue removes and returns the oldest element; ok is false if the
+	// queue is empty.
+	Dequeue(tx Tx) (V, bool)
+}
+
 // Engine is one transactional system.
 type Engine interface {
 	// Name is the display name ("Medley", "txMontage", ...).
@@ -169,10 +189,32 @@ type Engine interface {
 	// NewRowMap creates an any-valued transactional map (the table shape;
 	// requires CapRowMaps).
 	NewRowMap(spec MapSpec) (Map[any], error)
+	// NewUintQueue creates a uint64-valued transactional FIFO queue
+	// (requires CapQueue).
+	NewUintQueue() (Queue[uint64], error)
 	// NewWorker returns a transaction handle for one goroutine.
 	NewWorker(tid int) Tx
+	// Stats snapshots the engine's cumulative transaction outcomes.
+	Stats() Stats
 	// Close releases background resources (epoch advancers etc.).
 	Close()
+}
+
+// Persister is the optional interface of engines backed by a simulated NVM
+// device (txMontage, POneFile). Recovery tests drive the crash/recover
+// cycle through it. Engines whose type carries the methods but whose
+// instance is transient (Medley, OneFile) return a nil Device; callers must
+// check it.
+type Persister interface {
+	// Device returns the engine's simulated NVM device, or nil when the
+	// instance is transient.
+	Device() *pnvm.Device
+	// Sync makes everything committed so far durable: an epoch-boundary
+	// sync for txMontage, a no-op for eagerly persisting engines.
+	Sync()
+	// RecoverUintMap rebuilds a uint64 map from a post-crash device dump
+	// (pnvm.Device.Recover output) on this — freshly constructed — engine.
+	RecoverUintMap(recs []pnvm.Record, spec MapSpec) (Map[uint64], error)
 }
 
 // Builder is one registry entry.

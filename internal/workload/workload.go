@@ -1,0 +1,264 @@
+// Package workload is a scenario-driven benchmark subsystem over the
+// txengine registry. Where internal/bench regenerates the paper's
+// single-map microbenchmark figures, the scenarios here exercise the
+// transactional *composition* patterns the paper argues about — operations
+// spanning different abstractions (queue + map) and different instances
+// (map + map) in one atomic transaction — and they run on every registered
+// backend whose capabilities allow, so each engine becomes a comparable
+// datapoint.
+//
+// Scenarios:
+//
+//   - workqueue: transactional dequeue-and-claim over a FIFO queue plus a
+//     job-state map (the composition boosting and LFTT cannot express).
+//   - cache: a Zipfian read-mostly mix over a cache map backed by a store
+//     map, with transactional invalidate-on-update and refill-on-miss.
+//   - transfer: atomic value transfers between two maps (checking/savings)
+//     at configurable contention.
+//
+// Every Result carries the engine's uniform txengine.Stats delta for the
+// measured interval, plus scenario-specific Aux counters including the
+// post-run invariant checks (lost jobs, stale cache entries, balance
+// imbalance) that conformance tests assert on.
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"medley/internal/pnvm"
+	"medley/internal/txengine"
+)
+
+// Config sizes and drives one scenario run. The zero value is usable:
+// GOMAXPROCS threads, a short measurement, laptop-sized structures.
+type Config struct {
+	Threads int           // worker goroutines (0: GOMAXPROCS)
+	Dur     time.Duration // measurement duration (0: 1s)
+	Scale   float64       // structure-size scale (0: 1.0; sizes below)
+	Seed    uint64        // rng seed base (0: fixed default)
+
+	// Latencies and EpochLen configure persistent engines, as in
+	// internal/bench.
+	Latencies pnvm.Latencies
+	EpochLen  time.Duration
+}
+
+func (c Config) threads() int {
+	if c.Threads > 0 {
+		return c.Threads
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) dur() time.Duration {
+	if c.Dur > 0 {
+		return c.Dur
+	}
+	return time.Second
+}
+
+func (c Config) scale() float64 {
+	if c.Scale > 0 {
+		return c.Scale
+	}
+	return 1.0
+}
+
+func (c Config) seed() uint64 {
+	if c.Seed != 0 {
+		return c.Seed
+	}
+	return 0x9e3779b97f4a7c15
+}
+
+// scaled returns base scaled by cfg.Scale, floored at min.
+func (c Config) scaled(base, min int) int {
+	n := int(float64(base) * c.scale())
+	if n < min {
+		return min
+	}
+	return n
+}
+
+// AuxCount is one scenario-specific counter of a Result.
+type AuxCount struct {
+	Name string
+	N    uint64
+}
+
+// Result is one measured scenario point.
+type Result struct {
+	Workload   string
+	System     string
+	Threads    int
+	Txns       uint64 // completed application transactions
+	Duration   time.Duration
+	Throughput float64        // transactions per second
+	Stats      txengine.Stats // engine stats delta over the measured run
+	Aux        []AuxCount     // scenario counters + invariant checks
+}
+
+// AuxN returns the named Aux counter (0 if absent).
+func (r Result) AuxN(name string) uint64 {
+	for _, a := range r.Aux {
+		if a.Name == name {
+			return a.N
+		}
+	}
+	return 0
+}
+
+// AuxString renders the Aux counters for reports.
+func (r Result) AuxString() string {
+	s := ""
+	for i, a := range r.Aux {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", a.Name, a.N)
+	}
+	return s
+}
+
+// Scenario is one registered workload.
+type Scenario struct {
+	// Key is the name -workload flags accept.
+	Key string
+	// Doc is a one-line description for CLI help.
+	Doc string
+	// CanRun reports whether the engine can host this scenario.
+	CanRun func(b txengine.Builder) error
+	// run executes the scenario on a freshly built engine.
+	run func(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, error)
+}
+
+var scenarios = []Scenario{workqueueScenario, cacheScenario, transferScenario}
+
+// Scenarios returns the registered scenarios in presentation order.
+func Scenarios() []Scenario {
+	out := make([]Scenario, len(scenarios))
+	copy(out, scenarios)
+	return out
+}
+
+// Lookup returns the scenario registered under key.
+func Lookup(key string) (Scenario, bool) {
+	for _, s := range scenarios {
+		if s.Key == key {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Names returns the registered scenario keys.
+func Names() []string {
+	out := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		out[i] = s.Key
+	}
+	return out
+}
+
+// Engines returns the default engine series for a scenario: every capable
+// registry entry not marked Slow (explicit selection still runs those).
+func Engines(scenario string) []string {
+	sc, ok := Lookup(scenario)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, b := range txengine.Builders() {
+		if b.Slow {
+			continue
+		}
+		if sc.CanRun(b) == nil {
+			out = append(out, b.Key)
+		}
+	}
+	return out
+}
+
+// Run builds the named engine and executes the named scenario on it.
+func Run(scenario, engine string, cfg Config) (Result, error) {
+	sc, ok := Lookup(scenario)
+	if !ok {
+		return Result{}, fmt.Errorf("workload: unknown scenario %q (have %v)", scenario, Names())
+	}
+	b, ok := txengine.Lookup(engine)
+	if !ok {
+		return Result{}, fmt.Errorf("workload: unknown engine %q", engine)
+	}
+	if err := sc.CanRun(b); err != nil {
+		return Result{}, err
+	}
+	eng, err := b.New(txengine.Config{Latencies: cfg.Latencies, EpochLen: cfg.EpochLen})
+	if err != nil {
+		return Result{}, err
+	}
+	defer eng.Close()
+	res, err := sc.run(eng, b.Caps, cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("workload %s on %s: %w", scenario, engine, err)
+	}
+	res.Workload = scenario
+	res.System = eng.Name()
+	res.Threads = cfg.threads()
+	return res, nil
+}
+
+// needDynamicTx is the CanRun gate of scenarios whose transaction logic
+// branches on values read inside the transaction.
+func needDynamicTx(b txengine.Builder) error {
+	if !b.Caps.Has(txengine.CapTx | txengine.CapDynamicTx) {
+		return fmt.Errorf("workload: engine %q needs dynamic transactions: %w",
+			b.Key, txengine.ErrUnsupported)
+	}
+	return nil
+}
+
+// mapKind picks the map shape an engine supports, preferring hash.
+func mapKind(caps txengine.Caps) txengine.MapKind {
+	if caps.Has(txengine.CapHashMap) {
+		return txengine.KindHash
+	}
+	return txengine.KindSkip
+}
+
+// drive spawns threads workers, each constructed by newWorker (per-worker
+// state: tx handle, rng) and then iterated until dur elapses; it returns
+// the total transaction count and measured wall time. Each iteration
+// returns the number of completed transactions it performed.
+func drive(threads int, dur time.Duration, newWorker func(tid int) func() uint64) (uint64, time.Duration) {
+	var stop atomic.Bool
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	var ready, start sync.WaitGroup
+	ready.Add(threads)
+	start.Add(1)
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			iter := newWorker(tid)
+			ready.Done()
+			start.Wait()
+			n := uint64(0)
+			for !stop.Load() {
+				n += iter()
+			}
+			total.Add(n)
+		}(t)
+	}
+	ready.Wait()
+	t0 := time.Now()
+	start.Done()
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	return total.Load(), time.Since(t0)
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"medley/internal/txengine"
+)
+
+func smokeConfig() Config {
+	return Config{Threads: 4, Dur: 120 * time.Millisecond, Scale: 0.05, Seed: 7}
+}
+
+// TestSmoke runs every scenario on its full default engine series with a
+// tiny configuration and asserts the invariants each scenario audits:
+// no lost or duplicated jobs, no stale cache entries, no missing money.
+// CI runs this as the workload smoke job.
+func TestSmoke(t *testing.T) {
+	for _, sc := range Scenarios() {
+		engines := Engines(sc.Key)
+		if len(engines) == 0 {
+			t.Fatalf("%s: empty default engine series", sc.Key)
+		}
+		for _, engine := range engines {
+			t.Run(sc.Key+"/"+engine, func(t *testing.T) {
+				res, err := Run(sc.Key, engine, smokeConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Txns == 0 {
+					t.Fatal("no transactions completed")
+				}
+				if res.Throughput <= 0 {
+					t.Fatalf("throughput %v", res.Throughput)
+				}
+				b, _ := txengine.Lookup(engine)
+				if b.Caps.Has(txengine.CapTx) && res.Stats.Commits == 0 {
+					t.Fatalf("transactional engine reported zero commits: %+v", res.Stats)
+				}
+				transactional := b.Caps.Has(txengine.CapTx | txengine.CapDynamicTx)
+				switch sc.Key {
+				case "workqueue":
+					if transactional {
+						for _, bad := range []string{"lost", "dup", "violations"} {
+							if n := res.AuxN(bad); n != 0 {
+								t.Errorf("%s=%d on a transactional engine (%s)", bad, n, res.AuxString())
+							}
+						}
+					}
+					if res.AuxN("produced") == 0 || res.AuxN("claimed") == 0 {
+						t.Errorf("workqueue made no progress: %s", res.AuxString())
+					}
+				case "cache":
+					if n := res.AuxN("stale"); n != 0 {
+						t.Errorf("stale=%d cache entries after atomic invalidation (%s)", n, res.AuxString())
+					}
+					if res.AuxN("hits")+res.AuxN("misses") == 0 {
+						t.Errorf("cache made no lookups: %s", res.AuxString())
+					}
+				case "transfer":
+					if n := res.AuxN("imbalance"); n != 0 {
+						t.Errorf("imbalance=%d: money not conserved (%s)", n, res.AuxString())
+					}
+					if res.AuxN("transfers") == 0 {
+						t.Errorf("no transfers completed: %s", res.AuxString())
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCapabilityGating pins which engines each scenario admits: the
+// workqueue runs exactly on the queue-capable engines (Medley family +
+// Original), and the map scenarios exclude the static (LFTT) and
+// non-transactional (Original) backends.
+func TestCapabilityGating(t *testing.T) {
+	in := func(list []string, k string) bool {
+		for _, v := range list {
+			if v == k {
+				return true
+			}
+		}
+		return false
+	}
+	wq := Engines("workqueue")
+	for _, want := range []string{"medley", "txmontage", "original"} {
+		if !in(wq, want) {
+			t.Errorf("workqueue series missing %q: %v", want, wq)
+		}
+	}
+	for _, deny := range []string{"onefile", "tdsl", "lftt", "boost"} {
+		if in(wq, deny) {
+			t.Errorf("workqueue series must exclude %q (no CapQueue): %v", deny, wq)
+		}
+	}
+	for _, sc := range []string{"cache", "transfer"} {
+		series := Engines(sc)
+		for _, deny := range []string{"lftt", "original"} {
+			if in(series, deny) {
+				t.Errorf("%s series must exclude %q: %v", sc, deny, series)
+			}
+		}
+		for _, want := range []string{"medley", "onefile", "tdsl", "boost"} {
+			if !in(series, want) {
+				t.Errorf("%s series missing %q: %v", sc, want, series)
+			}
+		}
+	}
+
+	if _, err := Run("no-such-workload", "medley", smokeConfig()); err == nil {
+		t.Error("unknown scenario must fail")
+	}
+	if _, err := Run("cache", "no-such-engine", smokeConfig()); err == nil {
+		t.Error("unknown engine must fail")
+	}
+	if _, err := Run("workqueue", "boost", smokeConfig()); err == nil {
+		t.Error("workqueue on boost must be rejected (queues have no inverses)")
+	}
+	if _, err := Run("cache", "original", smokeConfig()); err == nil {
+		t.Error("cache on original must be rejected (no transactions)")
+	}
+}
