@@ -15,6 +15,8 @@
 //	medleybench -figure 10                # latency: Original / TxOff / TxOn
 //	medleybench -workload workqueue -systems medley,original
 //	medleybench -workload all             # workqueue, cache, transfer
+//	medleybench -workload transfer -systems medley-sharded -shards 8 -lat
+//	medleybench -workload cache -zipf 1.6 -readpct 70 -accounts 64
 //	medleybench -list                     # registered engines + workloads
 //
 // Scale 1.0 reproduces the paper's 1M-key / 0.5M-preload configuration;
@@ -47,6 +49,11 @@ func main() {
 	dur := flag.Duration("dur", 2*time.Second, "measurement duration per point")
 	scale := flag.Float64("scale", 0.1, "keyspace scale (1.0 = paper's 1M keys)")
 	epochLen := flag.Duration("epoch", 10*time.Millisecond, "txMontage epoch length")
+	shards := flag.Int("shards", 0, "shard count for sharded engines (0: engine default); sweep by invoking once per count")
+	zipfS := flag.Float64("zipf", 0, "cache workload: Zipf skew exponent (>1.0; 0: default 1.2)")
+	readPct := flag.Int("readpct", -1, "cache workload: lookup percentage 0-100 (-1: default 90)")
+	accounts := flag.Int("accounts", 0, "transfer workload: account count (0: 1024 scaled); fewer = hotter")
+	lat := flag.Bool("lat", false, "workloads: measure per-transaction latency percentiles (p50/p99 columns)")
 	flag.Parse()
 
 	if *list {
@@ -62,11 +69,34 @@ func main() {
 
 	ratios := parseRatios(*ratio)
 	threads := parseThreads(*threadsFlag)
-	opt := bench.Options{Latencies: pnvm.DefaultLatencies(), EpochLen: *epochLen}
+	opt := bench.Options{Latencies: pnvm.DefaultLatencies(), EpochLen: *epochLen, Shards: *shards}
 	fmt.Printf("# host: GOMAXPROCS=%d; scale=%.2f; dur=%v\n", runtime.GOMAXPROCS(0), *scale, *dur)
 
 	if *wlFlag != "" {
-		runWorkloads(*wlFlag, *systemsFlag, threads, *dur, *scale, *epochLen)
+		if *zipfS != 0 && *zipfS <= 1 {
+			fmt.Fprintln(os.Stderr, "bad -zipf: the skew exponent must be > 1.0 (or 0 for the default)")
+			os.Exit(2)
+		}
+		if *readPct < -1 || *readPct > 100 {
+			fmt.Fprintln(os.Stderr, "bad -readpct: want 0-100 (or -1 for the default 90)")
+			os.Exit(2)
+		}
+		// Flag space (-1: default, 0: all updates) maps onto the library's
+		// zero-value-is-default Config (0: default, negative: all updates).
+		rp := 0
+		switch {
+		case *readPct == 0:
+			rp = -1
+		case *readPct > 0:
+			rp = *readPct
+		}
+		cfg := workload.Config{
+			Dur: *dur, Scale: *scale,
+			Latencies: pnvm.DefaultLatencies(), EpochLen: *epochLen,
+			Shards: *shards, ZipfS: *zipfS, ReadPct: rp,
+			Accounts: *accounts, Latency: *lat,
+		}
+		runWorkloads(*wlFlag, *systemsFlag, threads, cfg)
 		return
 	}
 
@@ -181,8 +211,9 @@ func splitList(s string) []string {
 
 // runWorkloads drives the internal/workload scenarios: each selected
 // workload over each selected engine at each thread count, with the
-// engine's uniform stats and the scenario's audit counters per row.
-func runWorkloads(wlFlag, systemsFlag string, threads []int, dur time.Duration, scale float64, epochLen time.Duration) {
+// engine's uniform stats, optional p50/p99 latency columns, and the
+// scenario's audit counters per row. cfg carries everything but Threads.
+func runWorkloads(wlFlag, systemsFlag string, threads []int, cfg workload.Config) {
 	wls := splitList(wlFlag)
 	if wlFlag == "all" {
 		wls = workload.Names()
@@ -237,23 +268,33 @@ func runWorkloads(wlFlag, systemsFlag string, threads []int, dur time.Duration, 
 			}
 		}
 		fmt.Printf("\n## workload %s (%s)\n", name, sc.Doc)
-		fmt.Printf("%-12s %8s %14s %12s %10s %10s %10s  %s\n",
-			"system", "threads", "txn/s", "commits", "aborts", "retries", "fallbacks", "audit")
+		if cfg.Latency {
+			fmt.Printf("%-12s %8s %14s %12s %10s %10s %10s %10s %10s  %s\n",
+				"system", "threads", "txn/s", "commits", "aborts", "retries", "fallbacks", "p50", "p99", "audit")
+		} else {
+			fmt.Printf("%-12s %8s %14s %12s %10s %10s %10s  %s\n",
+				"system", "threads", "txn/s", "commits", "aborts", "retries", "fallbacks", "audit")
+		}
 		for _, engine := range systems {
 			for _, th := range threads {
-				cfg := workload.Config{
-					Threads: th, Dur: dur, Scale: scale,
-					Latencies: pnvm.DefaultLatencies(), EpochLen: epochLen,
-				}
+				cfg := cfg
+				cfg.Threads = th
 				res, err := workload.Run(name, engine, cfg)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(2)
 				}
-				fmt.Printf("%-12s %8d %14.0f %12d %10d %10d %10d  %s\n",
-					res.System, res.Threads, res.Throughput,
-					res.Stats.Commits, res.Stats.Aborts, res.Stats.Retries, res.Stats.Fallbacks,
-					res.AuxString())
+				if cfg.Latency {
+					fmt.Printf("%-12s %8d %14.0f %12d %10d %10d %10d %10v %10v  %s\n",
+						res.System, res.Threads, res.Throughput,
+						res.Stats.Commits, res.Stats.Aborts, res.Stats.Retries, res.Stats.Fallbacks,
+						res.P50, res.P99, res.AuxString())
+				} else {
+					fmt.Printf("%-12s %8d %14.0f %12d %10d %10d %10d  %s\n",
+						res.System, res.Threads, res.Throughput,
+						res.Stats.Commits, res.Stats.Aborts, res.Stats.Retries, res.Stats.Fallbacks,
+						res.AuxString())
+				}
 			}
 		}
 	}

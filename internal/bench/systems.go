@@ -15,6 +15,9 @@ type Options struct {
 	Latencies pnvm.Latencies
 	// EpochLen is txMontage's persistence epoch length (0: advancer off).
 	EpochLen time.Duration
+	// Shards is the partition count for sharded engines (0: engine
+	// default); non-sharded engines ignore it.
+	Shards int
 }
 
 // NewSystem builds the named engine from the txengine registry and wraps it
@@ -37,7 +40,7 @@ func NewSystem(engine string, kind txengine.MapKind, wl Workload, opt Options) (
 			return nil, fmt.Errorf("bench: engine %q has no skiplist: %w", engine, txengine.ErrUnsupported)
 		}
 	}
-	eng, err := b.New(txengine.Config{Latencies: opt.Latencies, EpochLen: opt.EpochLen})
+	eng, err := b.New(txengine.Config{Latencies: opt.Latencies, EpochLen: opt.EpochLen, Shards: opt.Shards})
 	if err != nil {
 		return nil, err
 	}

@@ -1,12 +1,21 @@
 package core
 
 import (
-	"sync"
 	"sync/atomic"
 )
 
+// cacheLine is the assumed coherence-granule size. Stats is padded to a
+// multiple of it so that adjacent Stats instances (per-shard counter arrays,
+// sessions allocated back to back) never share a line: every field is
+// written with atomic RMW ops on the session's hot path, and false sharing
+// between two sessions' counters serializes exactly the workers a sharded
+// runtime is trying to decouple.
+const cacheLine = 64
+
 // Stats counts transaction events. Fields are atomic so that aggregation can
-// run concurrently with the owning session.
+// run concurrently with the owning session, and the struct is padded to two
+// cache lines (the second line guards against the adjacent-line prefetcher)
+// so concurrent sessions never false-share their counters.
 type Stats struct {
 	Begins   atomic.Uint64 // transactions started
 	Commits  atomic.Uint64 // transactions committed
@@ -14,6 +23,8 @@ type Stats struct {
 	Helps    atomic.Uint64 // foreign descriptors finalized on this session's behalf
 	Installs atomic.Uint64 // critical CASes that installed a descriptor
 	Reads    atomic.Uint64 // read-set entries recorded
+
+	_ [2*cacheLine - 6*8]byte
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
@@ -46,10 +57,14 @@ func (s *StatsSnapshot) Add(o StatsSnapshot) {
 // intended for use in the same transactions (paper Fig. 1). One TxManager
 // instance must be shared by every structure touched by a given transaction;
 // each worker goroutine obtains its own Session from it.
+//
+// Session allocation and stats aggregation are lock-free: sessions live on a
+// push-only atomic list and their counters are atomics, so neither workers
+// spinning up at high thread counts nor concurrent Stats polling ever
+// serialize on a manager mutex.
 type TxManager struct {
-	mu       sync.Mutex
-	sessions []*Session
-	nextID   int
+	sessions atomic.Pointer[Session] // head of the push-only session list
+	nextID   atomic.Int64
 
 	// beginHook, if set, runs at the start of every transaction on the
 	// beginning session. Used by txMontage to pin the transaction's epoch
@@ -80,22 +95,29 @@ func (m *TxManager) SetEndHook(h func(*Session, bool)) { m.endHook = h }
 func (m *TxManager) SetRetireHook(h func(any)) { m.retireHook = h }
 
 // Session creates a new session bound to this manager. Sessions are not
-// goroutine-safe; create one per worker goroutine.
+// goroutine-safe; create one per worker goroutine. Allocation is lock-free
+// (an atomic id draw plus a CAS push onto the session list), so spawning
+// workers never serializes on the manager.
 func (m *TxManager) Session() *Session {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := &Session{mgr: m, id: m.nextID}
-	m.nextID++
-	m.sessions = append(m.sessions, s)
-	return s
+	s := &Session{mgr: m, id: int(m.nextID.Add(1) - 1)}
+	for {
+		head := m.sessions.Load()
+		s.next = head
+		if m.sessions.CompareAndSwap(head, s) {
+			return s
+		}
+	}
 }
 
-// Stats aggregates counters across all sessions.
+// NumSessions reports how many sessions have been created.
+func (m *TxManager) NumSessions() int { return int(m.nextID.Load()) }
+
+// Stats aggregates counters across all sessions without locking: the
+// session list is immutable once pushed and every counter is atomic, so the
+// walk is safe concurrent with both allocation and running transactions.
 func (m *TxManager) Stats() StatsSnapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var total StatsSnapshot
-	for _, s := range m.sessions {
+	for s := m.sessions.Load(); s != nil; s = s.next {
 		total.Add(s.st.snapshot())
 	}
 	return total

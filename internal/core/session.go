@@ -16,7 +16,8 @@ import (
 type Session struct {
 	mgr  *TxManager
 	id   int
-	desc *Desc // non-nil while inside a transaction
+	next *Session // manager's push-only session list (see TxManager.Session)
+	desc *Desc    // non-nil while inside a transaction
 
 	// inSpec tracks whether execution is inside the current operation's
 	// speculation interval (Def. 3): set on a publication point or on

@@ -17,6 +17,9 @@ type StoreOptions struct {
 	Latencies pnvm.Latencies
 	// EpochLen is txMontage's persistence epoch length (0: advancer off).
 	EpochLen time.Duration
+	// Shards is the partition count for sharded engines (0: engine
+	// default); non-sharded engines ignore it.
+	Shards int
 }
 
 // Engines returns the registry keys of every engine that can run TPC-C
@@ -73,6 +76,7 @@ func NewStore(engine string, opt StoreOptions) (Store, error) {
 		Latencies: opt.Latencies,
 		EpochLen:  opt.EpochLen,
 		RowCodec:  rowCodec(),
+		Shards:    opt.Shards,
 	})
 	if err != nil {
 		return nil, err

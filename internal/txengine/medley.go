@@ -144,6 +144,22 @@ type sessionTx struct {
 
 func (t *sessionTx) Run(fn func() error) error { return t.ct.countRun(t.s.Run, fn) }
 
+// beginManual / commitManual / abortManual implement manualTx: the sharded
+// decorator drives the session's transaction scope explicitly so that one
+// logical transaction can hold open sub-transactions on several shards'
+// TxManagers at once.
+var _ manualTx = (*sessionTx)(nil)
+
+func (t *sessionTx) beginManual() { t.s.TxBegin() }
+
+func (t *sessionTx) commitManual() error { return t.s.TxEnd() }
+
+func (t *sessionTx) abortManual() {
+	if t.s.InTx() {
+		t.s.TxAbort()
+	}
+}
+
 func (t *sessionTx) RunRead(fn func()) {
 	_ = t.Run(func() error { fn(); return nil })
 }

@@ -1,0 +1,503 @@
+package txengine
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"medley/internal/core"
+)
+
+// This file implements the sharded engine runtime: a registry-composable
+// decorator that wraps S independent instances of a base engine (each with
+// its own TxManager, session list, and structures) and hash-routes every
+// map key to its owning shard. Single-shard transactions run entirely on
+// that shard's optimistic machinery, under the shard's read lock, so they
+// scale with the shard count instead of funneling through one manager.
+// Cross-shard transactions discover their shard footprint by optimistic
+// execution (an op touching a shard outside the known set restarts the
+// attempt with the union) and then reacquire the involved shards' locks
+// exclusively, in ascending shard order. Exclusivity makes every per-shard
+// sub-commit deterministic — no concurrent activity can invalidate a locked
+// shard's read set — so the ordered commit sequence is failure-free and the
+// composition audits (cross-map transfer conservation, queue+map claim
+// integrity) hold exactly as they do on an unsharded engine.
+//
+// The decorator needs one thing beyond the public Engine contract: explicit
+// transaction control on base worker handles (manualTx), so that one
+// logical transaction can hold open sub-transactions on several shards at
+// once. Medley-family handles provide it via core.Session; engines without
+// transactions (Original) shard trivially, routing bare operations.
+
+// DefaultShards is the shard count used when Config.Shards is unset.
+const DefaultShards = 4
+
+// manualTx is the optional Tx extension the sharded decorator requires of
+// transactional base engines: explicit begin/commit/abort, with commitManual
+// returning core.ErrTxAborted on a validation conflict.
+type manualTx interface {
+	beginManual()
+	commitManual() error
+	abortManual()
+}
+
+// shardSlot is one shard: a private base engine instance plus the shard's
+// reader-writer lock. Single-shard attempts and standalone operations hold
+// the read side (concurrent with each other, resolved by the base engine's
+// own concurrency control); cross-shard attempts hold the write side of
+// every involved shard. Padded so adjacent slots never share a cache line.
+type shardSlot struct {
+	eng Engine
+	mu  sync.RWMutex
+	_   [88]byte // 16 (iface) + 24 (RWMutex) + 88 = 128
+}
+
+type shardedEngine struct {
+	name   string
+	caps   Caps
+	txCap  bool
+	shards []*shardSlot
+	nextQ  atomic.Uint64 // round-robin home-shard assignment for queues
+	ct     counters
+}
+
+// newShardedEngine builds cfg.Shards independent instances of the named
+// base engine behind one sharded façade.
+func newShardedEngine(baseKey string, cfg Config) (Engine, error) {
+	b, ok := Lookup(baseKey)
+	if !ok {
+		return nil, fmt.Errorf("txengine: sharded base %q not registered", baseKey)
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	e := &shardedEngine{caps: b.Caps, txCap: b.Caps.Has(CapTx)}
+	for i := 0; i < n; i++ {
+		sub, err := b.New(cfg)
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("txengine: sharded %s shard %d: %w", baseKey, i, err)
+		}
+		e.shards = append(e.shards, &shardSlot{eng: sub})
+	}
+	e.name = fmt.Sprintf("%s-sh%d", e.shards[0].eng.Name(), n)
+	return e, nil
+}
+
+func (e *shardedEngine) Name() string { return e.name }
+func (e *shardedEngine) Caps() Caps   { return e.caps }
+
+// NumShards reports the shard count (for tests and CLI reporting).
+func (e *shardedEngine) NumShards() int { return len(e.shards) }
+
+// Stats aggregates the decorator's own transaction accounting with every
+// shard's engine stats (standalone-op accounting on bases that keep it).
+func (e *shardedEngine) Stats() Stats {
+	total := e.ct.snapshot()
+	for _, sl := range e.shards {
+		total.Add(sl.eng.Stats())
+	}
+	return total
+}
+
+func (e *shardedEngine) Close() {
+	for _, sl := range e.shards {
+		sl.eng.Close()
+	}
+}
+
+// shardOf routes a key to its owning shard (Fibonacci hashing spreads
+// sequential keys uniformly).
+func (e *shardedEngine) shardOf(k uint64) int {
+	h := k * 0x9e3779b97f4a7c15
+	h ^= h >> 32
+	return int(h % uint64(len(e.shards)))
+}
+
+// subSpec divides a caller's sizing hints across the shards.
+func (e *shardedEngine) subSpec(spec MapSpec) MapSpec {
+	n := len(e.shards)
+	if spec.Buckets > 0 {
+		spec.Buckets = max(spec.Buckets/n, 16)
+	}
+	if spec.Stripes > 0 {
+		spec.Stripes = max(spec.Stripes/n, 8)
+	}
+	return spec
+}
+
+func (e *shardedEngine) NewUintMap(spec MapSpec) (Map[uint64], error) {
+	return newShardedMap(e, spec, Engine.NewUintMap)
+}
+
+func (e *shardedEngine) NewRowMap(spec MapSpec) (Map[any], error) {
+	if !e.caps.Has(CapRowMaps) {
+		return nil, ErrUnsupported
+	}
+	return newShardedMap(e, spec, Engine.NewRowMap)
+}
+
+// NewUintQueue places the queue wholly on one shard (queues have no keys to
+// partition by, and FIFO order must survive), assigned round-robin so
+// several queues spread load. Queue+map compositions still commit
+// atomically through the cross-shard path.
+func (e *shardedEngine) NewUintQueue() (Queue[uint64], error) {
+	if !e.caps.Has(CapQueue) {
+		return nil, ErrUnsupported
+	}
+	home := int(e.nextQ.Add(1)-1) % len(e.shards)
+	q, err := e.shards[home].eng.NewUintQueue()
+	if err != nil {
+		return nil, err
+	}
+	return &shardedQueue{e: e, home: home, q: q}, nil
+}
+
+func (e *shardedEngine) NewWorker(tid int) Tx {
+	return &shardedTx{e: e, tid: tid, base: make([]Tx, len(e.shards)), cur: -1}
+}
+
+// growRestart is the control-flow sentinel thrown when an attempt touches a
+// shard outside its locked set; Run catches it and retries with the union.
+type growRestart struct{ want []int }
+
+// shardedTx is the per-worker handle: a lazily filled pool of base handles,
+// one per shard this worker has touched, plus the state of the current
+// attempt. Not goroutine-safe, like every Tx.
+type shardedTx struct {
+	e    *shardedEngine
+	tid  int
+	base []Tx // per-shard base handles, created on first touch
+
+	inRun     bool
+	cross     bool  // attempt holds exclusive locks on want
+	locksHeld bool  // cross-mode locks currently held
+	want      []int // cross mode: ascending shard set to lock
+	begun     []int // shards with an open base sub-transaction
+	cur       int   // single-shard mode: the shard in use, -1 if none yet
+	aborted   bool  // Tx.Abort doomed the current Run
+	bo        backoff
+}
+
+// handle returns this worker's base handle for shard s, creating it (and
+// its base session) on first touch — the per-shard session pool.
+func (t *shardedTx) handle(s int) Tx {
+	if t.base[s] == nil {
+		t.base[s] = t.e.shards[s].eng.NewWorker(t.tid)
+	}
+	return t.base[s]
+}
+
+func (t *shardedTx) manual(s int) manualTx {
+	m, ok := t.handle(s).(manualTx)
+	if !ok {
+		// Transactional bases must expose explicit transaction control;
+		// sessionTx carries a compile-time assertion, so this only fires if
+		// a new base is wired up without it.
+		panic("txengine: " + t.e.name + " base workers lack manual transaction control")
+	}
+	return m
+}
+
+var noRelease = func() {}
+
+// enter prepares shard s for one operation by this worker and returns the
+// base handle to run it on, plus a release callback (a no-op inside Run,
+// where locks are attempt-scoped). Inside Run it lazily opens the shard's
+// sub-transaction, or restarts the attempt when s falls outside the
+// attempt's shard set.
+func (t *shardedTx) enter(s int) (Tx, func()) {
+	if !t.inRun || t.aborted {
+		// Standalone (or post-abort) operation: runs outside any
+		// transaction, under the shard's read lock so it cannot interpose
+		// between a cross-shard attempt's sub-commits.
+		if !t.e.txCap {
+			return t.handle(s), noRelease
+		}
+		sl := t.e.shards[s]
+		sl.mu.RLock()
+		return t.handle(s), sl.mu.RUnlock
+	}
+	if t.cross {
+		if !slices.Contains(t.want, s) {
+			panic(growRestart{want: unionShard(t.want, s)})
+		}
+		return t.handle(s), noRelease
+	}
+	if t.cur == s {
+		return t.handle(s), noRelease
+	}
+	if t.cur != -1 {
+		panic(growRestart{want: unionShard([]int{t.cur}, s)})
+	}
+	t.e.shards[s].mu.RLock()
+	t.cur = s
+	t.manual(s).beginManual()
+	t.begun = append(t.begun, s)
+	return t.handle(s), noRelease
+}
+
+// unlock releases whatever locks the current attempt holds. Idempotent.
+func (t *shardedTx) unlock() {
+	if t.cross {
+		if t.locksHeld {
+			for _, s := range t.want {
+				t.e.shards[s].mu.Unlock()
+			}
+			t.locksHeld = false
+		}
+		return
+	}
+	if t.cur != -1 {
+		t.e.shards[t.cur].mu.RUnlock()
+		t.cur = -1
+	}
+}
+
+// rollback aborts every open sub-transaction and releases the attempt's
+// locks. Idempotent.
+func (t *shardedTx) rollback() {
+	for _, s := range t.begun {
+		t.manual(s).abortManual()
+	}
+	t.begun = t.begun[:0]
+	t.unlock()
+}
+
+// commit finalizes a clean attempt: every open sub-transaction is committed
+// — in ascending shard order for cross-shard attempts — and the locks are
+// released. Returns nil on commit, core.ErrTxAborted on conflict.
+func (t *shardedTx) commit() error {
+	defer t.unlock()
+	if !t.cross {
+		if t.cur == -1 {
+			return nil // the transaction touched nothing
+		}
+		t.begun = t.begun[:0]
+		return t.manual(t.cur).commitManual()
+	}
+	for i, s := range t.begun {
+		if err := t.manual(s).commitManual(); err != nil {
+			if i > 0 {
+				// Earlier shards already committed. With every involved
+				// shard exclusively locked no validation can fail, so a
+				// torn cross-shard commit is a protocol bug, not a runtime
+				// condition — fail loudly rather than lose atomicity.
+				panic(fmt.Sprintf("txengine: %s cross-shard commit tore at shard %d: %v", t.e.name, s, err))
+			}
+			for _, r := range t.begun[i+1:] {
+				t.manual(r).abortManual()
+			}
+			t.begun = t.begun[:0]
+			return err
+		}
+	}
+	t.begun = t.begun[:0]
+	return nil
+}
+
+// attempt executes fn once. A non-nil grew return means the attempt's shard
+// footprint exceeded its lock set: retry with that set. err is nil on
+// commit, core.ErrTxAborted on conflict, and fn's own error otherwise.
+func (t *shardedTx) attempt(fn func() error, want []int) (err error, grew []int) {
+	t.inRun = true
+	t.aborted = false
+	t.cur = -1
+	t.begun = t.begun[:0]
+	t.cross = want != nil
+	t.want = want
+	if t.cross {
+		for _, s := range want { // ascending: deadlock-free
+			t.e.shards[s].mu.Lock()
+		}
+		t.locksHeld = true
+		for _, s := range want {
+			t.manual(s).beginManual()
+			t.begun = append(t.begun, s)
+		}
+	}
+	defer func() {
+		t.inRun = false
+		if r := recover(); r != nil {
+			t.rollback()
+			g, ok := r.(growRestart)
+			if !ok {
+				panic(r)
+			}
+			err, grew = nil, g.want
+		}
+	}()
+	ferr := fn()
+	if t.aborted {
+		// Abort already rolled back. If fn swallowed the abort error,
+		// treat the attempt as a conflict (mirrors core.Session.Run).
+		if ferr == nil {
+			return core.ErrTxAborted, nil
+		}
+		return ferr, nil
+	}
+	if ferr != nil {
+		t.rollback()
+		return ferr, nil
+	}
+	return t.commit(), nil
+}
+
+// Run implements Tx: optimistic single-shard execution first, restarting
+// into the ordered-acquire cross-shard path as the footprint reveals
+// itself, with conflict aborts retried under the shared backoff.
+func (t *shardedTx) Run(fn func() error) error {
+	if !t.e.txCap {
+		panic("txengine: " + t.e.name + " supports no transactions")
+	}
+	execs := 0
+	var want []int
+	for attempt := 0; ; attempt++ {
+		execs++
+		err, grew := t.attempt(fn, want)
+		if grew != nil {
+			want = grew
+			continue // footprint restart: no backoff, nobody conflicted
+		}
+		if err == nil {
+			t.e.ct.commits.Add(1)
+			t.e.ct.aborts.Add(uint64(execs - 1))
+			if execs > 1 {
+				t.e.ct.retries.Add(uint64(execs - 1))
+			}
+			return nil
+		}
+		if errors.Is(err, core.ErrTxAborted) {
+			t.bo.wait(attempt)
+			continue
+		}
+		t.e.ct.aborts.Add(uint64(execs))
+		if execs > 1 {
+			t.e.ct.retries.Add(uint64(execs - 1))
+		}
+		return err
+	}
+}
+
+func (t *shardedTx) RunRead(fn func()) {
+	_ = t.Run(func() error { fn(); return nil })
+}
+
+func (t *shardedTx) NoTx(fn func()) {
+	if t.e.caps.Has(CapNoTx) {
+		fn() // ops route standalone through enter
+		return
+	}
+	t.e.ct.fallbacks.Add(1)
+	_ = t.Run(func() error { fn(); return nil })
+}
+
+func (t *shardedTx) Abort() error {
+	if t.inRun && !t.aborted {
+		t.rollback()
+		t.aborted = true
+	}
+	return ErrBusinessAbort
+}
+
+// unionShard inserts s into an ascending shard set, returning a new slice.
+func unionShard(set []int, s int) []int {
+	out := make([]int, 0, len(set)+1)
+	placed := false
+	for _, v := range set {
+		if !placed && s < v {
+			out = append(out, s)
+			placed = true
+		}
+		if v == s {
+			placed = true
+		}
+		out = append(out, v)
+	}
+	if !placed {
+		out = append(out, s)
+	}
+	return out
+}
+
+// shardedMap hash-partitions a transactional map across the engine's
+// shards: one base map per shard, each only ever touched by that shard's
+// sessions.
+type shardedMap[V any] struct {
+	e   *shardedEngine
+	sub []Map[V]
+}
+
+func newShardedMap[V any](e *shardedEngine, spec MapSpec, mk func(Engine, MapSpec) (Map[V], error)) (Map[V], error) {
+	sub := e.subSpec(spec)
+	m := &shardedMap[V]{e: e, sub: make([]Map[V], len(e.shards))}
+	for i, sl := range e.shards {
+		var err error
+		if m.sub[i], err = mk(sl.eng, sub); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func (m *shardedMap[V]) Get(tx Tx, k uint64) (V, bool) {
+	t := tx.(*shardedTx)
+	s := m.e.shardOf(k)
+	bt, release := t.enter(s)
+	v, ok := m.sub[s].Get(bt, k)
+	release()
+	return v, ok
+}
+
+func (m *shardedMap[V]) Put(tx Tx, k uint64, v V) (V, bool) {
+	t := tx.(*shardedTx)
+	s := m.e.shardOf(k)
+	bt, release := t.enter(s)
+	prev, had := m.sub[s].Put(bt, k, v)
+	release()
+	return prev, had
+}
+
+func (m *shardedMap[V]) Insert(tx Tx, k uint64, v V) bool {
+	t := tx.(*shardedTx)
+	s := m.e.shardOf(k)
+	bt, release := t.enter(s)
+	ok := m.sub[s].Insert(bt, k, v)
+	release()
+	return ok
+}
+
+func (m *shardedMap[V]) Remove(tx Tx, k uint64) (V, bool) {
+	t := tx.(*shardedTx)
+	s := m.e.shardOf(k)
+	bt, release := t.enter(s)
+	v, ok := m.sub[s].Remove(bt, k)
+	release()
+	return v, ok
+}
+
+// shardedQueue is a base queue resident on its home shard, reached through
+// the same enter machinery so queue+map transactions stay atomic.
+type shardedQueue struct {
+	e    *shardedEngine
+	home int
+	q    Queue[uint64]
+}
+
+func (q *shardedQueue) Enqueue(tx Tx, v uint64) {
+	t := tx.(*shardedTx)
+	bt, release := t.enter(q.home)
+	q.q.Enqueue(bt, v)
+	release()
+}
+
+func (q *shardedQueue) Dequeue(tx Tx) (uint64, bool) {
+	t := tx.(*shardedTx)
+	bt, release := t.enter(q.home)
+	v, ok := q.q.Dequeue(bt)
+	release()
+	return v, ok
+}

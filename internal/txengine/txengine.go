@@ -1,11 +1,12 @@
 // Package txengine unifies the repository's transactional systems behind a
 // single Engine abstraction: one name-keyed registry of backends (Medley,
-// txMontage, OneFile, POneFile, TDSL, LFTT, Boost, plus the untransformed
-// Original baseline), each exposing per-worker transaction handles and
-// transactional map factories. The benchmark harness (internal/bench), the
-// TPC-C workload (internal/tpcc), and the CLI tools all consume engines
-// through this package, so a new backend registered here runs every workload
-// for free.
+// txMontage, OneFile, POneFile, TDSL, LFTT, Boost, the untransformed
+// Original baseline, plus the sharded decorators medley-sharded and
+// original-sharded — see sharded.go), each exposing per-worker transaction
+// handles and transactional map factories. The benchmark harness
+// (internal/bench), the TPC-C workload (internal/tpcc), and the CLI tools
+// all consume engines through this package, so a new backend registered
+// here runs every workload for free.
 //
 // # Model
 //
@@ -118,6 +119,11 @@ type Config struct {
 	RowCodec montage.Codec[any]
 	// LockShards bounds Boost's semantic-lock tables (0: default).
 	LockShards int
+	// Shards is the partition count of sharded engines (medley-sharded,
+	// original-sharded): the base engine is instantiated this many times
+	// and map keys hash-route to their owning shard (0: DefaultShards).
+	// Non-sharded engines ignore it.
+	Shards int
 }
 
 // ErrBusinessAbort is the no-retry abort returned by Tx.Abort: Run passes it
@@ -296,6 +302,14 @@ func init() {
 	Register(Builder{Key: "lftt", Caps: lfttCaps, Doc: "LFTT-style static transactions over a skiplist", New: newLFTTEngine})
 	Register(Builder{Key: "boost", Caps: boostCaps, Doc: "transactional boosting over a lock-based map", New: newBoostEngine})
 	Register(Builder{Key: "original", Caps: originalCaps, Doc: "untransformed Fraser skiplist (no transactions)", New: newOriginalEngine})
+	// Sharded decorators: S independent base-engine instances behind one
+	// façade, hash-routed keys, ordered-acquire cross-shard commit
+	// (Config.Shards selects S). Registered after their bases so Lookup
+	// resolves during construction.
+	Register(Builder{Key: "medley-sharded", Caps: medleyCaps, Doc: "hash-partitioned Medley: per-shard TxManagers, ordered cross-shard commit",
+		New: func(cfg Config) (Engine, error) { return newShardedEngine("medley", cfg) }})
+	Register(Builder{Key: "original-sharded", Caps: originalCaps, Doc: "hash-partitioned untransformed baseline (no transactions)",
+		New: func(cfg Config) (Engine, error) { return newShardedEngine("original", cfg) }})
 }
 
 // backoff is per-worker state for core.Backoff, the shared randomized

@@ -53,14 +53,15 @@ func runCache(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, erro
 
 	var hits, misses, updates, conflictsLost atomic.Uint64
 	base := eng.Stats()
-	txns, el := drive(cfg.threads(), cfg.dur(), func(tid int) func() uint64 {
+	readPct := cfg.readPct()
+	txns, el, lh := drive(cfg.threads(), cfg.dur(), cfg.Latency, func(tid int) func() uint64 {
 		tx := eng.NewWorker(tid)
 		src := mrand.New(mrand.NewSource(int64(cfg.seed()) + int64(tid)))
-		zipf := mrand.NewZipf(src, 1.2, 1, keys-1)
+		zipf := mrand.NewZipf(src, cfg.zipfS(), 1, keys-1)
 		var vseq uint64
 		return func() uint64 {
 			k := zipf.Uint64()
-			if src.Intn(100) < 90 {
+			if src.Intn(100) < readPct {
 				// Lookup: cheap read-only probe first.
 				var ok bool
 				tx.RunRead(func() { _, ok = cache.Get(tx, k) })
@@ -116,7 +117,7 @@ func runCache(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, erro
 		}
 	}
 
-	return Result{
+	res := Result{
 		Txns: txns, Duration: el,
 		Throughput: float64(txns) / el.Seconds(),
 		Stats:      stats,
@@ -127,5 +128,7 @@ func runCache(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, erro
 			{"errors", conflictsLost.Load()},
 			{"stale", stale},
 		},
-	}, nil
+	}
+	res.attachLatency(lh)
+	return res, nil
 }

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"math/bits"
+	"time"
+)
+
+// latSubBits sets the histogram's sub-bucket resolution: each power-of-two
+// latency band splits into 2^latSubBits linear sub-buckets, bounding the
+// percentile estimation error at ~1/2^latSubBits of the value.
+const latSubBits = 3
+
+// latHist is an HDR-style log-linear latency histogram. Recording is two
+// shifts and an increment, so per-transaction timing stays cheap enough to
+// leave on for a whole measured run; workers each own one and merge after.
+type latHist struct {
+	buckets [64 << latSubBits]uint64
+	count   uint64
+}
+
+func (h *latHist) record(d time.Duration) {
+	n := uint64(d)
+	if n == 0 {
+		n = 1
+	}
+	e := uint(bits.Len64(n)) - 1
+	var sub uint64
+	if e > latSubBits {
+		sub = (n >> (e - latSubBits)) & (1<<latSubBits - 1)
+	} else {
+		sub = n & (1<<latSubBits - 1)
+	}
+	h.buckets[e<<latSubBits|uint(sub)]++
+	h.count++
+}
+
+func (h *latHist) merge(o *latHist) {
+	for i, n := range o.buckets {
+		h.buckets[i] += n
+	}
+	h.count += o.count
+}
+
+// bucketValue returns the representative (lower-bound) duration of bucket i.
+func bucketValue(i int) time.Duration {
+	e := uint(i) >> latSubBits
+	sub := uint64(i) & (1<<latSubBits - 1)
+	if e <= latSubBits {
+		return time.Duration(uint64(1)<<e | sub)
+	}
+	return time.Duration(uint64(1)<<e + sub<<(e-latSubBits))
+}
+
+// percentile returns the p-quantile (0 < p <= 1) of recorded durations, or
+// 0 when nothing was recorded.
+func (h *latHist) percentile(p float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(p * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	cum := uint64(0)
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			return bucketValue(i)
+		}
+	}
+	return bucketValue(len(h.buckets) - 1)
+}

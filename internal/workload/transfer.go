@@ -27,7 +27,7 @@ const startBalance = 1_000
 
 func runTransfer(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, error) {
 	kind := mapKind(caps)
-	accounts := uint64(cfg.scaled(1024, 8))
+	accounts := cfg.accounts()
 	checking, err := eng.NewUintMap(txengine.MapSpec{Kind: kind, Buckets: int(accounts)})
 	if err != nil {
 		return Result{}, err
@@ -55,7 +55,7 @@ func runTransfer(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, e
 
 	var transfers, audits, insufficient atomic.Uint64
 	base := eng.Stats()
-	txns, el := drive(cfg.threads(), cfg.dur(), func(tid int) func() uint64 {
+	txns, el, lh := drive(cfg.threads(), cfg.dur(), cfg.Latency, func(tid int) func() uint64 {
 		tx := eng.NewWorker(tid)
 		rng := rand.New(rand.NewPCG(cfg.seed(), uint64(tid)+1))
 		return func() uint64 {
@@ -121,7 +121,7 @@ func runTransfer(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, e
 		imbalance = total - sum
 	}
 
-	return Result{
+	res := Result{
 		Txns: txns, Duration: el,
 		Throughput: float64(txns) / el.Seconds(),
 		Stats:      stats,
@@ -131,5 +131,7 @@ func runTransfer(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, e
 			{"insufficient", insufficient.Load()},
 			{"imbalance", imbalance},
 		},
-	}, nil
+	}
+	res.attachLatency(lh)
+	return res, nil
 }

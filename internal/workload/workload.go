@@ -45,6 +45,26 @@ type Config struct {
 	// internal/bench.
 	Latencies pnvm.Latencies
 	EpochLen  time.Duration
+
+	// Shards is the partition count for sharded engines (0: engine
+	// default); non-sharded engines ignore it.
+	Shards int
+
+	// ZipfS is the cache scenario's Zipf skew exponent (>1.0; 0: 1.2).
+	// Higher values concentrate traffic on fewer hot keys.
+	ZipfS float64
+	// ReadPct is the cache scenario's lookup percentage, 0–100 (0: 90;
+	// negative: an all-update mix). The remainder are invalidating updates.
+	ReadPct int
+	// Accounts is the transfer scenario's account count (0: 1024 scaled by
+	// Scale). Fewer accounts mean hotter contention.
+	Accounts int
+
+	// Latency enables latency percentiles (Result.P50 and P99), at the
+	// cost of two clock reads per iteration. One iteration is one logical
+	// scenario transaction; on some paths (a cache miss's probe + refill)
+	// that comprises more than one engine transaction.
+	Latency bool
 }
 
 func (c Config) threads() int {
@@ -84,6 +104,32 @@ func (c Config) scaled(base, min int) int {
 	return n
 }
 
+func (c Config) zipfS() float64 {
+	if c.ZipfS > 1 {
+		return c.ZipfS
+	}
+	return 1.2
+}
+
+func (c Config) readPct() int {
+	switch {
+	case c.ReadPct < 0:
+		return 0
+	case c.ReadPct == 0:
+		return 90
+	case c.ReadPct > 100:
+		return 100
+	}
+	return c.ReadPct
+}
+
+func (c Config) accounts() uint64 {
+	if c.Accounts > 0 {
+		return uint64(c.Accounts)
+	}
+	return uint64(c.scaled(1024, 8))
+}
+
 // AuxCount is one scenario-specific counter of a Result.
 type AuxCount struct {
 	Name string
@@ -99,7 +145,16 @@ type Result struct {
 	Duration   time.Duration
 	Throughput float64        // transactions per second
 	Stats      txengine.Stats // engine stats delta over the measured run
+	P50, P99   time.Duration  // per-iteration latency percentiles (see Config.Latency)
 	Aux        []AuxCount     // scenario counters + invariant checks
+}
+
+// attachLatency fills the percentile fields from a measured histogram.
+func (r *Result) attachLatency(h *latHist) {
+	if h != nil && h.count > 0 {
+		r.P50 = h.percentile(0.50)
+		r.P99 = h.percentile(0.99)
+	}
 }
 
 // AuxN returns the named Aux counter (0 if absent).
@@ -196,7 +251,7 @@ func Run(scenario, engine string, cfg Config) (Result, error) {
 	if err := sc.CanRun(b); err != nil {
 		return Result{}, err
 	}
-	eng, err := b.New(txengine.Config{Latencies: cfg.Latencies, EpochLen: cfg.EpochLen})
+	eng, err := b.New(txengine.Config{Latencies: cfg.Latencies, EpochLen: cfg.EpochLen, Shards: cfg.Shards})
 	if err != nil {
 		return Result{}, err
 	}
@@ -231,25 +286,40 @@ func mapKind(caps txengine.Caps) txengine.MapKind {
 
 // drive spawns threads workers, each constructed by newWorker (per-worker
 // state: tx handle, rng) and then iterated until dur elapses; it returns
-// the total transaction count and measured wall time. Each iteration
-// returns the number of completed transactions it performed.
-func drive(threads int, dur time.Duration, newWorker func(tid int) func() uint64) (uint64, time.Duration) {
+// the total transaction count, the measured wall time, and — when lat is
+// set — a merged per-iteration latency histogram (nil otherwise). Each
+// iteration returns the number of completed transactions it performed.
+func drive(threads int, dur time.Duration, lat bool, newWorker func(tid int) func() uint64) (uint64, time.Duration, *latHist) {
 	var stop atomic.Bool
 	var total atomic.Uint64
 	var wg sync.WaitGroup
 	var ready, start sync.WaitGroup
 	ready.Add(threads)
 	start.Add(1)
+	hists := make([]*latHist, threads)
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
 			iter := newWorker(tid)
+			var h *latHist
+			if lat {
+				h = &latHist{}
+				hists[tid] = h
+			}
 			ready.Done()
 			start.Wait()
 			n := uint64(0)
-			for !stop.Load() {
-				n += iter()
+			if lat {
+				for !stop.Load() {
+					t0 := time.Now()
+					n += iter()
+					h.record(time.Since(t0))
+				}
+			} else {
+				for !stop.Load() {
+					n += iter()
+				}
 			}
 			total.Add(n)
 		}(t)
@@ -260,5 +330,15 @@ func drive(threads int, dur time.Duration, newWorker func(tid int) func() uint64
 	time.Sleep(dur)
 	stop.Store(true)
 	wg.Wait()
-	return total.Load(), time.Since(t0)
+	el := time.Since(t0)
+	if !lat {
+		return total.Load(), el, nil
+	}
+	merged := &latHist{}
+	for _, h := range hists {
+		if h != nil {
+			merged.merge(h)
+		}
+	}
+	return total.Load(), el, merged
 }

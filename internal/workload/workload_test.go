@@ -70,6 +70,78 @@ func TestSmoke(t *testing.T) {
 	}
 }
 
+// TestKnobs drives the scenario tunables end to end: a sharded engine at an
+// explicit shard count, a hot transfer (few accounts), a skewed all-update
+// cache mix, and latency percentiles — every audit must still hold.
+func TestKnobs(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Shards = 8
+	cfg.Accounts = 4 // four hot accounts: maximum cross-map contention
+	cfg.Latency = true
+	res, err := Run("transfer", "medley-sharded", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.AuxN("imbalance"); n != 0 {
+		t.Errorf("hot sharded transfer lost money: imbalance=%d (%s)", n, res.AuxString())
+	}
+	if res.AuxN("transfers") == 0 {
+		t.Errorf("no transfers completed: %s", res.AuxString())
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Errorf("latency percentiles not measured or inverted: p50=%v p99=%v", res.P50, res.P99)
+	}
+
+	cfg = smokeConfig()
+	cfg.ZipfS = 2.0
+	cfg.ReadPct = -1 // all updates
+	res, err = Run("cache", "medley", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AuxN("hits")+res.AuxN("misses") != 0 {
+		t.Errorf("ReadPct<0 still performed lookups: %s", res.AuxString())
+	}
+	if res.AuxN("updates") == 0 {
+		t.Errorf("all-update mix made no updates: %s", res.AuxString())
+	}
+	if n := res.AuxN("stale"); n != 0 {
+		t.Errorf("stale=%d under skewed updates (%s)", n, res.AuxString())
+	}
+	if res.P50 != 0 || res.P99 != 0 {
+		t.Errorf("latency percentiles measured without Config.Latency: p50=%v p99=%v", res.P50, res.P99)
+	}
+}
+
+// TestLatHist pins the histogram math the percentile mode relies on.
+func TestLatHist(t *testing.T) {
+	h := &latHist{}
+	for i := 1; i <= 1000; i++ {
+		h.record(time.Duration(i) * time.Microsecond)
+	}
+	p50 := h.percentile(0.50)
+	if p50 < 400*time.Microsecond || p50 > 600*time.Microsecond {
+		t.Errorf("p50 of uniform 1..1000us = %v, want ~500us", p50)
+	}
+	p99 := h.percentile(0.99)
+	if p99 < 900*time.Microsecond || p99 > 1100*time.Microsecond {
+		t.Errorf("p99 of uniform 1..1000us = %v, want ~990us", p99)
+	}
+	if h.percentile(1.0) < p99 {
+		t.Error("percentile not monotone")
+	}
+	var other latHist
+	other.record(time.Millisecond)
+	h.merge(&other)
+	if h.count != 1001 {
+		t.Errorf("merged count = %d, want 1001", h.count)
+	}
+	empty := &latHist{}
+	if empty.percentile(0.99) != 0 {
+		t.Error("empty histogram must report zero")
+	}
+}
+
 // TestCapabilityGating pins which engines each scenario admits: the
 // workqueue runs exactly on the queue-capable engines (Medley family +
 // Original), and the map scenarios exclude the static (LFTT) and

@@ -73,7 +73,7 @@ func runWorkqueue(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, 
 	}
 
 	base := eng.Stats()
-	txns, el := drive(cfg.threads(), cfg.dur(), func(tid int) func() uint64 {
+	txns, el, lh := drive(cfg.threads(), cfg.dur(), cfg.Latency, func(tid int) func() uint64 {
 		tx := eng.NewWorker(tid)
 		rng := rand.New(rand.NewPCG(cfg.seed(), uint64(tid)))
 		var seq uint64
@@ -160,10 +160,12 @@ func runWorkqueue(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, 
 	}
 	aux = append(aux, AuxCount{"violations", violations.Load()})
 
-	return Result{
+	res := Result{
 		Txns: txns, Duration: el,
 		Throughput: float64(txns) / el.Seconds(),
 		Stats:      stats,
 		Aux:        aux,
-	}, nil
+	}
+	res.attachLatency(lh)
+	return res, nil
 }
