@@ -56,6 +56,8 @@ func main() {
 	lat := flag.Bool("lat", false, "workloads: measure per-transaction latency percentiles (p50/p99 columns)")
 	flag.Parse()
 
+	checkShardsFlag(*shards)
+
 	if *list {
 		for _, b := range txengine.Builders() {
 			fmt.Printf("%-10s %s\n", b.Key, b.Doc)
@@ -135,15 +137,15 @@ func main() {
 		for _, r := range ratios {
 			wl := bench.PaperWorkload(r[0], r[1], r[2], *scale)
 			fmt.Printf("\n## %s, get:insert:remove = %s\n", figName, wl.Ratio())
-			fmt.Printf("%-16s %8s %14s %12s %10s %10s\n", "system", "threads", "txn/s", "commits", "aborts", "retries")
+			fmt.Printf("%-16s %8s %14s %12s %10s %10s %10s\n", "system", "threads", "txn/s", "commits", "aborts", "retries", "xshard")
 			for _, name := range systems {
 				for _, th := range threads {
 					sys := mustSystem(name, kind, wl, opt)
 					res := bench.RunThroughput(sys, wl, th, *dur)
 					sys.Close()
-					fmt.Printf("%-16s %8d %14.0f %12d %10d %10d\n",
+					fmt.Printf("%-16s %8d %14.0f %12d %10d %10d %10d\n",
 						res.System, res.Threads, res.Throughput,
-						res.Stats.Commits, res.Stats.Aborts, res.Stats.Retries)
+						res.Stats.Commits, res.Stats.Aborts, res.Stats.Retries, res.Stats.CrossShardRestarts)
 				}
 			}
 		}
@@ -158,6 +160,20 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "unknown -figure; want 7, 8, or 10")
 		os.Exit(2)
+	}
+}
+
+// checkShardsFlag fails fast on invalid -shards values (the registry would
+// reject them anyway, but per-point) and warns on counts far past the
+// host's parallelism — legal, but usually a typo.
+func checkShardsFlag(shards int) {
+	warning, err := txengine.ValidateShardsFlag(shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad -shards:", err)
+		os.Exit(2)
+	}
+	if warning != "" {
+		fmt.Fprintln(os.Stderr, "# warning:", warning)
 	}
 }
 
@@ -269,11 +285,11 @@ func runWorkloads(wlFlag, systemsFlag string, threads []int, cfg workload.Config
 		}
 		fmt.Printf("\n## workload %s (%s)\n", name, sc.Doc)
 		if cfg.Latency {
-			fmt.Printf("%-12s %8s %14s %12s %10s %10s %10s %10s %10s  %s\n",
-				"system", "threads", "txn/s", "commits", "aborts", "retries", "fallbacks", "p50", "p99", "audit")
+			fmt.Printf("%-12s %8s %14s %12s %10s %10s %10s %10s %10s %10s  %s\n",
+				"system", "threads", "txn/s", "commits", "aborts", "retries", "fallbacks", "xshard", "p50", "p99", "audit")
 		} else {
-			fmt.Printf("%-12s %8s %14s %12s %10s %10s %10s  %s\n",
-				"system", "threads", "txn/s", "commits", "aborts", "retries", "fallbacks", "audit")
+			fmt.Printf("%-12s %8s %14s %12s %10s %10s %10s %10s  %s\n",
+				"system", "threads", "txn/s", "commits", "aborts", "retries", "fallbacks", "xshard", "audit")
 		}
 		for _, engine := range systems {
 			for _, th := range threads {
@@ -285,15 +301,15 @@ func runWorkloads(wlFlag, systemsFlag string, threads []int, cfg workload.Config
 					os.Exit(2)
 				}
 				if cfg.Latency {
-					fmt.Printf("%-12s %8d %14.0f %12d %10d %10d %10d %10v %10v  %s\n",
+					fmt.Printf("%-12s %8d %14.0f %12d %10d %10d %10d %10d %10v %10v  %s\n",
 						res.System, res.Threads, res.Throughput,
 						res.Stats.Commits, res.Stats.Aborts, res.Stats.Retries, res.Stats.Fallbacks,
-						res.P50, res.P99, res.AuxString())
+						res.Stats.CrossShardRestarts, res.P50, res.P99, res.AuxString())
 				} else {
-					fmt.Printf("%-12s %8d %14.0f %12d %10d %10d %10d  %s\n",
+					fmt.Printf("%-12s %8d %14.0f %12d %10d %10d %10d %10d  %s\n",
 						res.System, res.Threads, res.Throughput,
 						res.Stats.Commits, res.Stats.Aborts, res.Stats.Retries, res.Stats.Fallbacks,
-						res.AuxString())
+						res.Stats.CrossShardRestarts, res.AuxString())
 				}
 			}
 		}

@@ -1,91 +1,155 @@
-// Command recoverydemo walks through txMontage's failure-atomic
-// persistence: it runs transactions over two persistent maps, syncs an
-// epoch boundary, keeps running, crashes the simulated NVM device, recovers
-// — and shows that the recovered state is a transaction-consistent cut at
-// an epoch boundary (buffered durable strict serializability).
+// Command recoverydemo walks through failure-atomic persistence on any
+// persistent engine of the txengine registry — the same Persister path the
+// recovery conformance tests exercise. It runs transfer transactions over
+// one persistent map, syncs a durable boundary, keeps running, crashes the
+// engine's whole (simulated) NVM device fleet, rebuilds a fresh engine on
+// the survivors, and shows that the merged recovery is a
+// transaction-consistent cut: every account pair still sums to its opening
+// balance (buffered durable strict serializability).
+//
+// With -engine txmontage-sharded the demo becomes the multi-device story:
+// each shard owns its own epoch system and device, transfers routinely span
+// shards, and recovery merges one dump per device at the minimum durable
+// frontier — so even a crash landing between two shards' flushes never
+// recovers half a transfer.
+//
+// Examples:
+//
+//	recoverydemo                                   # txMontage, one device
+//	recoverydemo -engine txmontage-sharded -shards 8
+//	recoverydemo -engine ponefile                  # eager persistence: nothing lost
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
-	"medley/internal/core"
-	"medley/internal/montage"
 	"medley/internal/pnvm"
+	"medley/internal/txengine"
 )
 
+const opening = uint64(1000) // per-account opening balance in each half
+
+// Account a's two balances live at distinct keys of one map, so recovery
+// audits a single recovered structure while the halves still hash to
+// (usually) different shards on a sharded engine.
+func checkingKey(a uint64) uint64 { return 2 * a }
+func savingsKey(a uint64) uint64  { return 2*a + 1 }
+
 func main() {
-	dev := pnvm.NewDefault()
-	es := montage.NewEpochSys(dev)
-	mgr := core.NewTxManager()
-	montage.Attach(mgr, es)
+	engine := flag.String("engine", "txmontage", "persistent engine to demo (txmontage | txmontage-sharded | ponefile)")
+	shards := flag.Int("shards", 0, "shard count for sharded engines (0: engine default)")
+	accounts := flag.Uint64("accounts", 8, "account pairs to open")
+	flag.Parse()
 
-	checking := montage.NewHashMap(es, montage.Uint64Codec(), 1024)
-	savings := montage.NewSkipMap(es, montage.Uint64Codec())
-	s := mgr.Session()
-
-	// Open 8 account pairs with a 1000/1000 split; every transfer keeps
-	// checking+savings == 2000 per account.
-	for a := uint64(0); a < 8; a++ {
-		_ = s.Run(func() error {
-			checking.Put(s, a, 1000)
-			savings.Put(s, a, 1000)
-			return nil
-		})
+	cfg := txengine.Config{Latencies: pnvm.DefaultLatencies(), Shards: *shards}
+	eng, err := txengine.Build(*engine, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	transfer := func(a uint64, amt uint64) {
-		_ = s.Run(func() error {
-			c, _ := checking.Get(s, a)
-			v, _ := savings.Get(s, a)
+	p, ok := eng.(txengine.Persister)
+	if !ok || len(p.Devices()) == 0 {
+		fmt.Fprintf(os.Stderr, "engine %q is transient; pick a persistent one (txmontage, txmontage-sharded, ponefile)\n", *engine)
+		os.Exit(2)
+	}
+	devs := p.Devices()
+	spec := txengine.MapSpec{Kind: txengine.KindHash, Buckets: 1024}
+	m, err := eng.NewUintMap(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tx := eng.NewWorker(0)
+
+	// Open the account pairs; every transfer below preserves
+	// checking+savings == 2*opening per account.
+	for a := uint64(0); a < *accounts; a++ {
+		a := a
+		must(tx.Run(func() error {
+			m.Put(tx, checkingKey(a), opening)
+			m.Put(tx, savingsKey(a), opening)
+			return nil
+		}))
+	}
+	transfer := func(a, amt uint64) {
+		must(tx.Run(func() error {
+			c, _ := m.Get(tx, checkingKey(a))
 			if c < amt {
 				return nil
 			}
-			checking.Put(s, a, c-amt)
-			savings.Put(s, a, v+amt)
+			s, _ := m.Get(tx, savingsKey(a))
+			m.Put(tx, checkingKey(a), c-amt)
+			m.Put(tx, savingsKey(a), s+amt)
 			return nil
-		})
+		}))
 	}
-	for a := uint64(0); a < 8; a++ {
-		transfer(a, 100*(a+1))
+	for a := uint64(0); a < *accounts; a++ {
+		transfer(a, 100*(a%5+1))
 	}
-	es.Sync() // persist everything up to here
-	fmt.Println("synced: all transfers durable at epoch boundary", es.Current())
+	p.Sync() // everything so far is durable on every device
+	fmt.Printf("%s: %d accounts opened and shuffled; synced across %d device(s)\n",
+		eng.Name(), *accounts, len(devs))
 
-	// More transfers that will NOT be durable (no sync before the crash).
-	for a := uint64(0); a < 8; a++ {
+	// More transfers that are NOT synced: a buffered engine may lose them,
+	// but only whole transactions at a time.
+	for a := uint64(0); a < *accounts; a++ {
 		transfer(a, 50)
 	}
-	fmt.Println("ran 8 more transfers without sync; crashing device...")
+	fmt.Printf("ran %d more transfers without sync; crashing all %d device(s)...\n",
+		*accounts, len(devs))
 
-	dev.Crash()
-	recs := montage.LiveRecords(dev.Recover())
-	fmt.Printf("recovered %d live payloads\n", len(recs))
-
-	// Recovery cannot tell which map a payload belonged to by itself; real
-	// deployments tag payloads per structure. Here both maps share the key
-	// space with distinct value parities, so rebuild by key count and
-	// verify the invariant on totals.
-	es2 := montage.NewEpochSys(dev)
-	_ = es2
-	byKey := map[uint64][]uint64{}
-	for _, r := range recs {
-		byKey[r.Key] = append(byKey[r.Key], montage.Uint64Codec().Dec(r.Val))
+	eng.Close()
+	dumps := pnvm.DumpAll(devs)
+	total := 0
+	for _, d := range dumps {
+		total += len(d)
 	}
-	ok := true
-	for a := uint64(0); a < 8; a++ {
-		vals := byKey[a]
-		if len(vals) != 2 {
-			fmt.Printf("account %v: expected 2 payloads, got %d — NOT transaction-consistent\n", a, len(vals))
+	fmt.Printf("recovered %d surviving records across %d dump(s)\n", total, len(dumps))
+
+	// Post-crash world: a fresh engine over the same devices, one merged
+	// logical map at an epoch-consistent cut.
+	eng2, err := txengine.Build(*engine, txengine.Config{
+		Latencies: pnvm.DefaultLatencies(), Shards: *shards, Devices: devs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rm, err := eng2.(txengine.Persister).RecoverUintMap(dumps, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tx2 := eng2.NewWorker(0)
+
+	ok = true
+	for a := uint64(0); a < *accounts; a++ {
+		c, ok1 := rm.Get(tx2, checkingKey(a))
+		s, ok2 := rm.Get(tx2, savingsKey(a))
+		if !ok1 || !ok2 {
+			fmt.Printf("account %v: a synced balance key was lost — NOT transaction-consistent\n", a)
 			ok = false
 			continue
 		}
-		if vals[0]+vals[1] != 2000 {
-			fmt.Printf("account %v: %v+%v != 2000 — split transaction recovered!\n", a, vals[0], vals[1])
+		if c+s != 2*opening {
+			fmt.Printf("account %v: %v+%v != %v — split transaction recovered!\n", a, c, s, 2*opening)
 			ok = false
 			continue
 		}
-		fmt.Printf("account %v: checking+savings = %v+%v = 2000 ✓\n", a, vals[0], vals[1])
+		fmt.Printf("account %v: checking+savings = %v+%v = %v ✓\n", a, c, s, 2*opening)
 	}
 	if ok {
 		fmt.Println("recovered state is a consistent epoch-boundary cut (BDSS holds)")
+	} else {
+		os.Exit(1)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

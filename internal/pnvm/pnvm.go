@@ -166,15 +166,37 @@ func (d *Device) UnRetire(id uint64, claim uint64) {
 	s.mu.Unlock()
 }
 
+// ClearRetire unconditionally clears a record's retirement mark. Unlike
+// UnRetire it is not claim-gated: it exists for post-crash recovery scrubs,
+// where the retiring transaction lies beyond the recovery cut and is being
+// discarded wholesale, and the device is quiesced and single-threaded.
+func (d *Device) ClearRetire(id uint64) {
+	s := d.shard(id)
+	s.mu.Lock()
+	if r, ok := s.records[id]; ok {
+		r.Retire = 0
+		delete(s.retireClaim, id)
+		delete(s.retireDurable, id)
+	}
+	s.mu.Unlock()
+}
+
 // Delete removes a record outright (used to undo allocations of aborted
-// transactions before they are ever durable).
+// transactions before they are ever durable, and to drop superseded
+// metadata). On a crashed device it is a no-op: post-crash media must not
+// be mutated until Recover — in particular, a flush racing the crash must
+// not erase the durable frontier marker it was about to supersede. The
+// check happens under the shard lock, so it is ordered against Crash()'s
+// scan of the same shard.
 func (d *Device) Delete(id uint64) {
 	s := d.shard(id)
 	s.mu.Lock()
-	delete(s.records, id)
-	delete(s.durable, id)
-	delete(s.retireDurable, id)
-	delete(s.retireClaim, id)
+	if !d.crashed.Load() {
+		delete(s.records, id)
+		delete(s.durable, id)
+		delete(s.retireDurable, id)
+		delete(s.retireClaim, id)
+	}
 	s.mu.Unlock()
 }
 
@@ -236,6 +258,44 @@ func (d *Device) Recover() []Record {
 	}
 	d.crashed.Store(false)
 	return out
+}
+
+// DeleteKey removes every record stored under key, durable or not. It
+// exists for recovery scrubs of reserved-key metadata (montage's frontier
+// markers): scanning the live device rather than a crash dump catches
+// records written after the dump was taken, e.g. by a background advancer
+// that ticked between engine reattachment and recovery.
+func (d *Device) DeleteKey(key uint64) {
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		for id, r := range s.records {
+			if r.Key == key {
+				delete(s.records, id)
+				delete(s.durable, id)
+				delete(s.retireDurable, id)
+				delete(s.retireClaim, id)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// DumpAll crashes every device of a multi-device domain and returns their
+// post-crash record dumps, index-aligned with devs — the input shape of
+// multi-device recovery (txengine.Persister.RecoverUintMap). Crashing the
+// whole fleet before recovering any single device models a full-system
+// power failure: no device gets to flush after another has already lost
+// state.
+func DumpAll(devs []*Device) [][]Record {
+	for _, d := range devs {
+		d.Crash()
+	}
+	dumps := make([][]Record, len(devs))
+	for i, d := range devs {
+		dumps[i] = d.Recover()
+	}
+	return dumps
 }
 
 // Live returns the number of records on media (diagnostic).

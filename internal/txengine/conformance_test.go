@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -55,7 +56,7 @@ func TestRegistryShape(t *testing.T) {
 		}
 		if b.Caps.Has(CapRowMaps) {
 			cfg := Config{}
-			if b.Key == "txmontage" {
+			if strings.Contains(b.Key, "txmontage") {
 				cfg.RowCodec = testRowCodec()
 			}
 			eng2, err := b.New(cfg)

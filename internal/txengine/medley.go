@@ -32,14 +32,28 @@ func newMedleyEngine(Config) (Engine, error) {
 
 func newTxMontageEngine(cfg Config) (Engine, error) {
 	mgr := core.NewTxManager()
-	dev := cfg.Device
-	if dev == nil {
+	if len(cfg.Devices) > 1 {
+		return nil, fmt.Errorf("txengine: txmontage is single-device (got %d devices); use txmontage-sharded for multi-device persistence", len(cfg.Devices))
+	}
+	var dev *pnvm.Device
+	if len(cfg.Devices) == 1 {
+		dev = cfg.Devices[0]
+	} else {
 		dev = pnvm.New(cfg.Latencies)
 	}
-	es := montage.NewEpochSys(dev)
+	var es *montage.EpochSys
+	if cfg.EpochClock != nil {
+		// Shared clock: the clock's owner (the sharded coordinator) drives
+		// the advance cadence for every system on it; starting a private
+		// advancer here would flush this shard's batches at boundaries the
+		// other shards never reach.
+		es = montage.NewEpochSysShared(dev, cfg.EpochClock)
+	} else {
+		es = montage.NewEpochSys(dev)
+	}
 	montage.Attach(mgr, es)
 	e := &medleyEngine{name: "txMontage", mgr: mgr, es: es, codec: cfg.RowCodec}
-	if cfg.EpochLen > 0 {
+	if cfg.EpochLen > 0 && cfg.EpochClock == nil {
 		es.Start(cfg.EpochLen)
 		e.started = true
 	}
@@ -60,12 +74,12 @@ func (e *medleyEngine) Close() {
 // recovery demos and persistence tests.
 func (e *medleyEngine) EpochSys() *montage.EpochSys { return e.es }
 
-// Device implements Persister (nil for transient Medley).
-func (e *medleyEngine) Device() *pnvm.Device {
+// Devices implements Persister (nil for transient Medley).
+func (e *medleyEngine) Devices() []*pnvm.Device {
 	if e.es == nil {
 		return nil
 	}
-	return e.es.Device()
+	return []*pnvm.Device{e.es.Device()}
 }
 
 // Sync implements Persister: an epoch-boundary sync, after which everything
@@ -76,13 +90,23 @@ func (e *medleyEngine) Sync() {
 	}
 }
 
-// RecoverUintMap implements Persister: rebuilds a map from the live payloads
-// of a post-crash device dump on this engine's (fresh) epoch system.
-func (e *medleyEngine) RecoverUintMap(recs []pnvm.Record, spec MapSpec) (Map[uint64], error) {
+// RecoverUintMap implements Persister: rebuilds a map from the live
+// payloads of this engine's one device's post-crash dump, at the device's
+// epoch-consistent cut (its durable frontier); the device is scrubbed of
+// beyond-cut state and the clock re-anchored past the cut, so the engine —
+// and a possible second crash — continue from a clean boundary.
+func (e *medleyEngine) RecoverUintMap(dumps [][]pnvm.Record, spec MapSpec) (Map[uint64], error) {
 	if e.es == nil {
 		return nil, fmt.Errorf("txengine: %s is transient: %w", e.name, ErrUnsupported)
 	}
-	live := montage.LiveRecords(recs)
+	if len(dumps) != 1 {
+		// Record ids are per-device counters, so a foreign device's dump
+		// would alias this device's ids and the scrub would corrupt media.
+		return nil, fmt.Errorf("txengine: %s recovery wants exactly one dump for its one device: got %d", e.name, len(dumps))
+	}
+	cut := montage.ConsistentCut(dumps)
+	montage.ReanchorAll(e.es.Clock(), []*montage.EpochSys{e.es}, dumps, cut)
+	live := montage.LiveRecordsAt(dumps[0], cut)
 	if spec.Kind == KindHash {
 		return txmapAdapter[uint64]{montage.RecoverHashMap(e.es, montage.Uint64Codec(), bucketsOr(spec, 1<<16), live)}, nil
 	}
@@ -159,6 +183,12 @@ func (t *sessionTx) abortManual() {
 		t.s.TxAbort()
 	}
 }
+
+// pinnedEpoch implements the sharded decorator's epochPinned seam: the
+// epoch the open manual transaction is pinned to, or 0 on transient bases.
+// The cross-shard commit coordinator compares it across shards to guarantee
+// every sub-commit sits in the same epoch cut before committing any.
+func (t *sessionTx) pinnedEpoch() uint64 { return montage.PinnedEpoch(t.s) }
 
 func (t *sessionTx) RunRead(fn func()) {
 	_ = t.Run(func() error { fn(); return nil })

@@ -28,8 +28,13 @@ func newOneFileEngine(Config) (Engine, error) {
 }
 
 func newPOneFileEngine(cfg Config) (Engine, error) {
-	dev := cfg.Device
-	if dev == nil {
+	if len(cfg.Devices) > 1 {
+		return nil, fmt.Errorf("txengine: ponefile is single-device (got %d devices)", len(cfg.Devices))
+	}
+	var dev *pnvm.Device
+	if len(cfg.Devices) == 1 {
+		dev = cfg.Devices[0]
+	} else {
 		dev = pnvm.New(cfg.Latencies)
 	}
 	return &onefileEngine{name: "POneFile", st: onefile.NewPersistent(dev), codec: cfg.RowCodec}, nil
@@ -40,18 +45,28 @@ func (e *onefileEngine) Caps() Caps   { return onefileCaps }
 func (e *onefileEngine) Stats() Stats { return e.ct.snapshot() }
 func (e *onefileEngine) Close()       {}
 
-// Device implements Persister (nil for transient OneFile).
-func (e *onefileEngine) Device() *pnvm.Device { return e.st.Device() }
+// Devices implements Persister (nil for transient OneFile).
+func (e *onefileEngine) Devices() []*pnvm.Device {
+	if d := e.st.Device(); d != nil {
+		return []*pnvm.Device{d}
+	}
+	return nil
+}
 
 // Sync implements Persister: POneFile persists eagerly, so everything
 // committed is already durable.
 func (e *onefileEngine) Sync() {}
 
 // RecoverUintMap implements Persister: rebuilds a map from the surviving
-// payload records of a post-crash device dump.
-func (e *onefileEngine) RecoverUintMap(recs []pnvm.Record, spec MapSpec) (Map[uint64], error) {
+// payload records of this engine's one device's post-crash dump (POneFile
+// persists eagerly, no epochs — the dump's live kv state is the state).
+func (e *onefileEngine) RecoverUintMap(dumps [][]pnvm.Record, spec MapSpec) (Map[uint64], error) {
 	if e.st.Device() == nil {
 		return nil, fmt.Errorf("txengine: %s is transient: %w", e.name, ErrUnsupported)
+	}
+	if len(dumps) != 1 {
+		// A foreign device's dump would merge unrelated state silently.
+		return nil, fmt.Errorf("txengine: %s recovery wants exactly one dump for its one device: got %d", e.name, len(dumps))
 	}
 	m, err := e.NewUintMap(spec)
 	if err != nil {
@@ -59,7 +74,7 @@ func (e *onefileEngine) RecoverUintMap(recs []pnvm.Record, spec MapSpec) (Map[ui
 	}
 	u64 := montage.Uint64Codec()
 	tx := e.NewWorker(-1)
-	for k, vb := range onefile.LiveKV(recs) {
+	for k, vb := range onefile.LiveKV(dumps[0]) {
 		m.Put(tx, k, u64.Dec(vb))
 	}
 	return m, nil

@@ -8,34 +8,32 @@ import (
 )
 
 // TestCrashRecoveryConformance is the cross-engine crash/recovery contract
-// for persistent engines (txMontage, POneFile), mirroring cmd/recoverydemo
-// through the engine layer: commit transactions, simulate a device crash,
-// rebuild a fresh engine on the survivors, and assert that synced committed
-// state is visible, aborted writes are absent, and post-sync transactions
-// recover all-or-nothing.
+// for persistent engines (txMontage, POneFile, txmontage-sharded),
+// mirroring cmd/recoverydemo through the engine layer: commit transactions,
+// crash the engine's whole device fleet, rebuild a fresh engine on the
+// survivors, and assert that synced committed state is visible, aborted
+// writes are absent, and post-sync transactions recover all-or-nothing. The
+// contract is multi-device: the engine reports its devices, the crash dumps
+// them all, and recovery merges the dumps at an epoch-consistent cut.
 func TestCrashRecoveryConformance(t *testing.T) {
 	const (
-		n        = 32
-		poison1  = uint64(1 << 20)
-		poison2  = poison1 + 1
-		errFunds = "insufficient"
+		n       = 32
+		poison1 = uint64(1 << 20)
+		poison2 = poison1 + 1
 	)
 	for _, b := range Builders() {
 		b := b
 		t.Run(b.Key, func(t *testing.T) {
-			dev := pnvm.New(pnvm.Latencies{})
-			eng, err := b.New(Config{Device: dev})
+			eng, err := b.New(Config{})
 			if err != nil {
 				t.Fatalf("build: %v", err)
 			}
 			p, ok := eng.(Persister)
-			if !ok || p.Device() == nil {
+			if !ok || len(p.Devices()) == 0 {
 				eng.Close()
 				t.Skipf("%s is transient", b.Key)
 			}
-			if p.Device() != dev {
-				t.Fatalf("engine ignored Config.Device")
-			}
+			devs := p.Devices()
 			spec := testSpec(b.Caps)
 			m, err := eng.NewUintMap(spec)
 			if err != nil {
@@ -55,7 +53,7 @@ func TestCrashRecoveryConformance(t *testing.T) {
 				}
 			}
 			// An aborted transaction: its write must never recover.
-			errBiz := errors.New(errFunds)
+			errBiz := errors.New("insufficient")
 			if err := tx.Run(func() error {
 				m.Put(tx, poison1, 666)
 				return errBiz
@@ -84,17 +82,27 @@ func TestCrashRecoveryConformance(t *testing.T) {
 				t.Fatalf("Tx.Abort returned %v", err)
 			}
 
-			dev.Crash()
-			recs := dev.Recover()
+			dumps := pnvm.DumpAll(devs)
 			eng.Close()
 
-			// Post-crash world: a fresh engine over the same device.
-			eng2, err := b.New(Config{Device: dev})
+			// Post-crash world: a fresh engine reattached to the same
+			// device fleet.
+			eng2, err := b.New(Config{Devices: devs})
 			if err != nil {
 				t.Fatalf("rebuild: %v", err)
 			}
 			defer eng2.Close()
-			rm, err := eng2.(Persister).RecoverUintMap(recs, spec)
+			p2 := eng2.(Persister)
+			redevs := p2.Devices()
+			if len(redevs) != len(devs) {
+				t.Fatalf("rebuilt engine has %d devices, want %d", len(redevs), len(devs))
+			}
+			for i := range devs {
+				if redevs[i] != devs[i] {
+					t.Fatalf("rebuilt engine ignored Config.Devices at index %d", i)
+				}
+			}
+			rm, err := p2.RecoverUintMap(dumps, spec)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -134,29 +142,56 @@ func TestCrashRecoveryConformance(t *testing.T) {
 			if b.Key == "ponefile" && recovered != n {
 				t.Fatalf("eager persistence lost %d/%d post-sync transactions", n-recovered, n)
 			}
-			t.Logf("%s: recovered %d/%d post-sync transactions", b.Key, recovered, n)
+			t.Logf("%s: %d devices, recovered %d/%d post-sync transactions", b.Key, len(devs), recovered, n)
 		})
 	}
 }
 
-// TestPersisterCoverage pins that both persistent engines actually
-// implement Persister with a live device — so the conformance suite above
-// cannot silently skip them all. (Independent of subtest filtering.)
+// TestPersisterCoverage pins that the persistent engines actually implement
+// Persister with live devices — so the conformance suite above cannot
+// silently skip them all — including the device-per-shard shape of the
+// sharded persistent engine. (Independent of subtest filtering.)
 func TestPersisterCoverage(t *testing.T) {
-	for _, key := range []string{"txmontage", "ponefile"} {
-		b, ok := Lookup(key)
+	for _, tc := range []struct {
+		key    string
+		shards int
+		wantN  int
+	}{
+		{"txmontage", 0, 1},
+		{"ponefile", 0, 1},
+		{"txmontage-sharded", 0, DefaultShards},
+		{"txmontage-sharded", 8, 8},
+	} {
+		b, ok := Lookup(tc.key)
 		if !ok {
-			t.Fatalf("registry missing %q", key)
+			t.Fatalf("registry missing %q", tc.key)
 		}
-		dev := pnvm.New(pnvm.Latencies{})
-		eng, err := b.New(Config{Device: dev})
+		eng, err := b.New(Config{Shards: tc.shards})
 		if err != nil {
-			t.Fatalf("build %s: %v", key, err)
+			t.Fatalf("build %s: %v", tc.key, err)
 		}
 		p, ok := eng.(Persister)
-		if !ok || p.Device() != dev {
-			t.Errorf("%s must implement Persister over Config.Device", key)
+		if !ok {
+			t.Errorf("%s must implement Persister", tc.key)
+			eng.Close()
+			continue
 		}
+		if got := len(p.Devices()); got != tc.wantN {
+			t.Errorf("%s (shards=%d): %d devices, want %d", tc.key, tc.shards, got, tc.wantN)
+		}
+		// Reattachment must adopt the supplied fleet.
+		devs := p.Devices()
 		eng.Close()
+		eng2, err := b.New(Config{Shards: tc.shards, Devices: devs})
+		if err != nil {
+			t.Fatalf("rebuild %s: %v", tc.key, err)
+		}
+		re := eng2.(Persister).Devices()
+		for i := range devs {
+			if re[i] != devs[i] {
+				t.Errorf("%s: rebuilt engine ignored Config.Devices[%d]", tc.key, i)
+			}
+		}
+		eng2.Close()
 	}
 }

@@ -6,8 +6,11 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"medley/internal/core"
+	"medley/internal/montage"
+	"medley/internal/pnvm"
 )
 
 // This file implements the sharded engine runtime: a registry-composable
@@ -30,6 +33,23 @@ import (
 // logical transaction can hold open sub-transactions on several shards at
 // once. Medley-family handles provide it via core.Session; engines without
 // transactions (Original) shard trivially, routing bare operations.
+//
+// # Sharded persistence (txmontage-sharded)
+//
+// Persistent bases compose too: every shard owns its own montage.EpochSys
+// and pnvm.Device, but all of them share one montage.EpochClock, created
+// here and passed down through Config.EpochClock. The shared clock is what
+// makes durability shard-safely: a cross-shard transaction pins the same
+// epoch number on every shard it touches, the ordered sub-commit sequence
+// runs under the clock's commit guard (no advance can interleave, and a
+// pre-check aborts cleanly if the sub-transactions straddle two epochs), and
+// the coordinator — the engine's own advancer goroutine, or Sync — advances
+// all shards together so every device reaches the same durable frontier.
+// After a crash, recovery takes one dump per device, computes the domain's
+// consistent cut (the minimum of the per-device durable frontiers), and
+// rebuilds each shard at exactly that cut: state one device persisted ahead
+// of the others is discarded, so a transaction is never recovered torn even
+// when the crash lands between two shards' flushes.
 
 // DefaultShards is the shard count used when Config.Shards is unset.
 const DefaultShards = 4
@@ -61,10 +81,31 @@ type shardedEngine struct {
 	shards []*shardSlot
 	nextQ  atomic.Uint64 // round-robin home-shard assignment for queues
 	ct     counters
+
+	// Persistence coordination (nil/empty when the base is transient): the
+	// shared epoch clock, each shard's epoch system and device in shard
+	// order, and the coordinator advancer's lifecycle channels.
+	clock *montage.EpochClock
+	esys  []*montage.EpochSys
+	devs  []*pnvm.Device
+	stop  chan struct{}
+	done  chan struct{}
 }
 
+// epochSysProvider is the seam through which the decorator recognizes
+// montage-backed bases and reaches their per-shard epoch systems.
+type epochSysProvider interface{ EpochSys() *montage.EpochSys }
+
+// epochPinned is the worker-handle seam of the cross-shard epoch cut: the
+// epoch the handle's open manual transaction is pinned to (0 on transient
+// bases). See shardedTx.commit.
+type epochPinned interface{ pinnedEpoch() uint64 }
+
 // newShardedEngine builds cfg.Shards independent instances of the named
-// base engine behind one sharded façade.
+// base engine behind one sharded façade. Persistent (montage-backed) bases
+// are built one device per shard on a shared epoch clock; cfg.Devices, when
+// non-empty, supplies the per-shard devices (recovery reattachment) and
+// must be index-aligned with the shard order.
 func newShardedEngine(baseKey string, cfg Config) (Engine, error) {
 	b, ok := Lookup(baseKey)
 	if !ok {
@@ -74,17 +115,73 @@ func newShardedEngine(baseKey string, cfg Config) (Engine, error) {
 	if n <= 0 {
 		n = DefaultShards
 	}
+	if len(cfg.Devices) > 0 && len(cfg.Devices) != n {
+		return nil, fmt.Errorf("txengine: sharded %s wants one device per shard: got %d devices for %d shards", baseKey, len(cfg.Devices), n)
+	}
+	clock := cfg.EpochClock
+	if clock == nil {
+		clock = montage.NewEpochClock()
+	}
+	sub := cfg
+	sub.EpochClock = clock
+	sub.EpochLen = 0 // the coordinator owns the advance cadence, not the shards
 	e := &shardedEngine{caps: b.Caps, txCap: b.Caps.Has(CapTx)}
 	for i := 0; i < n; i++ {
-		sub, err := b.New(cfg)
+		c := sub
+		if len(cfg.Devices) > 0 {
+			c.Devices = cfg.Devices[i : i+1]
+		} else {
+			c.Devices = nil
+		}
+		shard, err := b.New(c)
 		if err != nil {
 			e.Close()
 			return nil, fmt.Errorf("txengine: sharded %s shard %d: %w", baseKey, i, err)
 		}
-		e.shards = append(e.shards, &shardSlot{eng: sub})
+		e.shards = append(e.shards, &shardSlot{eng: shard})
 	}
 	e.name = fmt.Sprintf("%s-sh%d", e.shards[0].eng.Name(), n)
+
+	// Detect montage-backed shards: all of them share clock, so the engine
+	// coordinates their epochs and implements the multi-device Persister.
+	for _, sl := range e.shards {
+		esp, ok := sl.eng.(epochSysProvider)
+		if !ok || esp.EpochSys() == nil {
+			break
+		}
+		e.esys = append(e.esys, esp.EpochSys())
+		e.devs = append(e.devs, esp.EpochSys().Device())
+	}
+	if len(e.esys) == len(e.shards) {
+		e.clock = clock
+		if cfg.EpochLen > 0 {
+			e.startCoordinator(cfg.EpochLen)
+		}
+	} else {
+		e.esys, e.devs = nil, nil
+	}
 	return e, nil
+}
+
+// startCoordinator launches the background epoch advancer that moves every
+// shard's epoch system forward together (the sharded analogue of
+// montage.EpochSys.Start).
+func (e *shardedEngine) startCoordinator(period time.Duration) {
+	e.stop = make(chan struct{})
+	e.done = make(chan struct{})
+	go func() {
+		defer close(e.done)
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-e.stop:
+				return
+			case <-t.C:
+				montage.AdvanceTogether(e.clock, e.esys)
+			}
+		}
+	}()
 }
 
 func (e *shardedEngine) Name() string { return e.name }
@@ -104,9 +201,70 @@ func (e *shardedEngine) Stats() Stats {
 }
 
 func (e *shardedEngine) Close() {
+	if e.stop != nil {
+		close(e.stop)
+		<-e.done
+		e.stop = nil
+	}
 	for _, sl := range e.shards {
 		sl.eng.Close()
 	}
+}
+
+// Devices implements Persister: every shard's device in shard order, or nil
+// when the base engine is transient.
+func (e *shardedEngine) Devices() []*pnvm.Device {
+	if len(e.devs) == 0 {
+		return nil
+	}
+	out := make([]*pnvm.Device, len(e.devs))
+	copy(out, e.devs)
+	return out
+}
+
+// Sync implements Persister: two coordinated advances move every shard past
+// the current epoch together, so when Sync returns each transaction
+// committed before the call is durable on all of its shards — one mutually
+// consistent boundary, not S independent ones.
+func (e *shardedEngine) Sync() {
+	if e.clock == nil {
+		return
+	}
+	montage.SyncTogether(e.clock, e.esys)
+}
+
+// RecoverUintMap implements Persister: merge S post-crash device dumps into
+// one logical map. The domain's consistent cut is the minimum of the
+// per-device durable frontiers; each shard's dump is trimmed to that cut
+// (so a device that flushed ahead of the others contributes nothing beyond
+// it) and then recovered through the shard's own engine. Requires one dump
+// per shard, in shard order — i.e. the same shard count the state was
+// written under.
+func (e *shardedEngine) RecoverUintMap(dumps [][]pnvm.Record, spec MapSpec) (Map[uint64], error) {
+	if e.clock == nil {
+		return nil, fmt.Errorf("txengine: %s is transient: %w", e.name, ErrUnsupported)
+	}
+	if len(dumps) != len(e.shards) {
+		return nil, fmt.Errorf("txengine: %s recovery wants one dump per shard: got %d dumps for %d shards", e.name, len(dumps), len(e.shards))
+	}
+	// Every shard recovers its own dump at the *global* cut (not its
+	// device's possibly-further frontier); the devices are scrubbed of
+	// beyond-cut state and the shared clock re-anchored past the cut, so a
+	// second crash cannot resurrect what this recovery discarded.
+	cut := montage.ConsistentCut(dumps)
+	montage.ReanchorAll(e.clock, e.esys, dumps, cut)
+	sub := make([]Map[uint64], len(e.shards))
+	subSpec := e.subSpec(spec)
+	u64 := montage.Uint64Codec()
+	for i := range e.shards {
+		live := montage.LiveRecordsAt(dumps[i], cut)
+		if spec.Kind == KindHash {
+			sub[i] = txmapAdapter[uint64]{montage.RecoverHashMap(e.esys[i], u64, bucketsOr(subSpec, 1<<16), live)}
+		} else {
+			sub[i] = txmapAdapter[uint64]{montage.RecoverSkipMap(e.esys[i], u64, live)}
+		}
+	}
+	return &shardedMap[uint64]{e: e, sub: sub}, nil
 }
 
 // shardOf routes a key to its owning shard (Fibonacci hashing spreads
@@ -270,6 +428,16 @@ func (t *shardedTx) rollback() {
 // commit finalizes a clean attempt: every open sub-transaction is committed
 // — in ascending shard order for cross-shard attempts — and the locks are
 // released. Returns nil on commit, core.ErrTxAborted on conflict.
+//
+// On persistent bases the cross-shard sequence runs under the shared epoch
+// clock's commit guard: epoch advancement is blocked for the duration, and
+// a pre-check verifies every shard's sub-transaction is pinned to the
+// (now immovable) current epoch. Together these guarantee the transaction
+// lands in one epoch cut on every shard — the property multi-device
+// recovery relies on — and restore the invariant the tear panic below
+// encodes: once the first sub-commit succeeds, none of the remaining
+// validators (MCNS reads under exclusive locks, epochs under the guard)
+// can fail.
 func (t *shardedTx) commit() error {
 	defer t.unlock()
 	if !t.cross {
@@ -279,13 +447,31 @@ func (t *shardedTx) commit() error {
 		t.begun = t.begun[:0]
 		return t.manual(t.cur).commitManual()
 	}
+	if t.e.clock != nil && len(t.begun) > 0 {
+		cur, release := t.e.clock.GuardCommit()
+		defer release()
+		for _, s := range t.begun {
+			ep, ok := t.handle(s).(epochPinned)
+			if ok && ep.pinnedEpoch() != cur {
+				// The epoch advanced between this attempt's sub-begins, so
+				// the sub-transactions straddle two cuts. Committing them
+				// would either tear mid-sequence (a later shard's epoch
+				// validator fails after an earlier shard committed) or —
+				// worse — persist one transaction across two recovery
+				// cuts. Abort the whole attempt cleanly and retry.
+				t.rollback()
+				return core.ErrTxAborted
+			}
+		}
+	}
 	for i, s := range t.begun {
 		if err := t.manual(s).commitManual(); err != nil {
 			if i > 0 {
 				// Earlier shards already committed. With every involved
-				// shard exclusively locked no validation can fail, so a
-				// torn cross-shard commit is a protocol bug, not a runtime
-				// condition — fail loudly rather than lose atomicity.
+				// shard exclusively locked (and the epoch guarded above) no
+				// validation can fail, so a torn cross-shard commit is a
+				// protocol bug, not a runtime condition — fail loudly
+				// rather than lose atomicity.
 				panic(fmt.Sprintf("txengine: %s cross-shard commit tore at shard %d: %v", t.e.name, s, err))
 			}
 			for _, r := range t.begun[i+1:] {
@@ -349,6 +535,8 @@ func (t *shardedTx) attempt(fn func() error, want []int) (err error, grew []int)
 // Run implements Tx: optimistic single-shard execution first, restarting
 // into the ordered-acquire cross-shard path as the footprint reveals
 // itself, with conflict aborts retried under the shared backoff.
+// Footprint-discovery restarts are not conflicts (nobody aborted anybody),
+// so they count as CrossShardRestarts rather than inflating Aborts/Retries.
 func (t *shardedTx) Run(fn func() error) error {
 	if !t.e.txCap {
 		panic("txengine: " + t.e.name + " supports no transactions")
@@ -356,12 +544,13 @@ func (t *shardedTx) Run(fn func() error) error {
 	execs := 0
 	var want []int
 	for attempt := 0; ; attempt++ {
-		execs++
 		err, grew := t.attempt(fn, want)
 		if grew != nil {
+			t.e.ct.crossRestarts.Add(1)
 			want = grew
 			continue // footprint restart: no backoff, nobody conflicted
 		}
+		execs++
 		if err == nil {
 			t.e.ct.commits.Add(1)
 			t.e.ct.aborts.Add(uint64(execs - 1))

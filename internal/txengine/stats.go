@@ -17,15 +17,22 @@ import (
 //     the difference is the business aborts).
 //   - Fallbacks: NoTx bodies the engine could not run uninstrumented and
 //     wrapped in a transaction instead (engines without CapNoTx).
+//   - CrossShardRestarts: attempts a sharded engine re-executed because the
+//     transaction touched a shard outside its known footprint (the
+//     footprint-discovery restart of sharded.go). These are not conflicts —
+//     nobody aborted anybody — so they are counted separately from Aborts
+//     and Retries; a high rate means the workload is cross-shard-heavy and
+//     paying the discovery cost. Zero on non-sharded engines.
 //
 // Standalone map operations called outside Run count only on engines that
 // implement them as one-shot transactions (OneFile, TDSL, LFTT); Medley and
 // Boost run them genuinely uninstrumented.
 type Stats struct {
-	Commits   uint64
-	Aborts    uint64
-	Retries   uint64
-	Fallbacks uint64
+	Commits            uint64
+	Aborts             uint64
+	Retries            uint64
+	Fallbacks          uint64
+	CrossShardRestarts uint64
 }
 
 // Add accumulates o into s.
@@ -34,35 +41,39 @@ func (s *Stats) Add(o Stats) {
 	s.Aborts += o.Aborts
 	s.Retries += o.Retries
 	s.Fallbacks += o.Fallbacks
+	s.CrossShardRestarts += o.CrossShardRestarts
 }
 
 // Delta returns the counters accumulated since the prev snapshot.
 func (s Stats) Delta(prev Stats) Stats {
 	return Stats{
-		Commits:   s.Commits - prev.Commits,
-		Aborts:    s.Aborts - prev.Aborts,
-		Retries:   s.Retries - prev.Retries,
-		Fallbacks: s.Fallbacks - prev.Fallbacks,
+		Commits:            s.Commits - prev.Commits,
+		Aborts:             s.Aborts - prev.Aborts,
+		Retries:            s.Retries - prev.Retries,
+		Fallbacks:          s.Fallbacks - prev.Fallbacks,
+		CrossShardRestarts: s.CrossShardRestarts - prev.CrossShardRestarts,
 	}
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("commits=%d aborts=%d retries=%d fallbacks=%d",
-		s.Commits, s.Aborts, s.Retries, s.Fallbacks)
+	return fmt.Sprintf("commits=%d aborts=%d retries=%d fallbacks=%d xrestarts=%d",
+		s.Commits, s.Aborts, s.Retries, s.Fallbacks, s.CrossShardRestarts)
 }
 
 // counters is the shared engine-level accumulator behind Engine.Stats.
 // Fields are atomic: all of an engine's Tx handles bump the same instance.
 type counters struct {
 	commits, aborts, retries, fallbacks atomic.Uint64
+	crossRestarts                       atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		Commits:   c.commits.Load(),
-		Aborts:    c.aborts.Load(),
-		Retries:   c.retries.Load(),
-		Fallbacks: c.fallbacks.Load(),
+		Commits:            c.commits.Load(),
+		Aborts:             c.aborts.Load(),
+		Retries:            c.retries.Load(),
+		Fallbacks:          c.fallbacks.Load(),
+		CrossShardRestarts: c.crossRestarts.Load(),
 	}
 }
 

@@ -1,8 +1,9 @@
 // Package txengine unifies the repository's transactional systems behind a
 // single Engine abstraction: one name-keyed registry of backends (Medley,
 // txMontage, OneFile, POneFile, TDSL, LFTT, Boost, the untransformed
-// Original baseline, plus the sharded decorators medley-sharded and
-// original-sharded — see sharded.go), each exposing per-worker transaction
+// Original baseline, plus the sharded decorators medley-sharded,
+// txmontage-sharded, and original-sharded — see sharded.go), each exposing
+// per-worker transaction
 // handles and transactional map factories. The benchmark harness
 // (internal/bench), the TPC-C workload (internal/tpcc), and the CLI tools
 // all consume engines through this package, so a new backend registered
@@ -39,6 +40,7 @@ package txengine
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -107,10 +109,21 @@ type Config struct {
 	// Latencies drives the simulated NVM device of persistent engines
 	// (txMontage, POneFile). The zero value costs nothing.
 	Latencies pnvm.Latencies
-	// Device, if non-nil, is the simulated NVM device persistent engines
-	// attach to instead of constructing their own from Latencies. Recovery
-	// tests use it to crash a device and rebuild an engine on the survivors.
-	Device *pnvm.Device
+	// Devices, if non-empty, are the simulated NVM devices persistent
+	// engines attach to instead of constructing their own from Latencies.
+	// Single-device engines (txmontage, ponefile) take exactly one; the
+	// sharded persistent decorator (txmontage-sharded) takes one per shard,
+	// index-aligned with the order its Devices() method reports. Recovery
+	// flows use this to crash a device fleet and rebuild an engine on the
+	// survivors.
+	Devices []*pnvm.Device
+	// EpochClock, if non-nil, is the shared epoch clock montage-backed
+	// engines pin their transactions on instead of owning a private one.
+	// The sharded decorator hands one clock to every shard so a cross-shard
+	// transaction lands in the same epoch cut on each; engines built with a
+	// shared clock never start their own advancer — the clock's owner
+	// coordinates the advance cadence. Most callers leave it nil.
+	EpochClock *montage.EpochClock
 	// EpochLen, if positive, starts txMontage's epoch advancer at this
 	// period; Close stops it.
 	EpochLen time.Duration
@@ -120,10 +133,44 @@ type Config struct {
 	// LockShards bounds Boost's semantic-lock tables (0: default).
 	LockShards int
 	// Shards is the partition count of sharded engines (medley-sharded,
-	// original-sharded): the base engine is instantiated this many times
-	// and map keys hash-route to their owning shard (0: DefaultShards).
-	// Non-sharded engines ignore it.
+	// txmontage-sharded, original-sharded): the base engine is instantiated
+	// this many times and map keys hash-route to their owning shard
+	// (0: DefaultShards). Non-sharded engines ignore it. Validated centrally
+	// by every registry construction path — see Validate.
 	Shards int
+}
+
+// MaxShards bounds Config.Shards: a larger count is almost certainly a typo
+// and would allocate that many independent engine instances (and, for
+// persistent engines, devices).
+const MaxShards = 1024
+
+// Validate rejects malformed configurations with a clear error. Register
+// wraps every builder with it, so all construction paths (Build, bench,
+// tpcc, workload, the CLIs) share one validation point.
+func (c Config) Validate() error {
+	if c.Shards < 0 {
+		return fmt.Errorf("txengine: Config.Shards must be >= 1 (got %d); 0 selects the engine default of %d", c.Shards, DefaultShards)
+	}
+	if c.Shards > MaxShards {
+		return fmt.Errorf("txengine: Config.Shards %d exceeds MaxShards %d (that many independent engine instances is almost certainly unintended)", c.Shards, MaxShards)
+	}
+	return nil
+}
+
+// ValidateShardsFlag is the CLIs' shared -shards check: the central
+// Config.Validate rejection, plus a non-fatal warning string for counts far
+// past the host's parallelism — legal, but each shard is a full engine
+// instance, so it is usually a typo.
+func ValidateShardsFlag(shards int) (warning string, err error) {
+	if err := (Config{Shards: shards}).Validate(); err != nil {
+		return "", err
+	}
+	if max := 4 * runtime.GOMAXPROCS(0); shards > max {
+		warning = fmt.Sprintf("-shards %d is far beyond the host's parallelism (GOMAXPROCS=%d); each shard is a full engine instance",
+			shards, runtime.GOMAXPROCS(0))
+	}
+	return warning, nil
 }
 
 // ErrBusinessAbort is the no-retry abort returned by Tx.Abort: Run passes it
@@ -158,6 +205,11 @@ type Tx interface {
 // Map is a transactional map from uint64 keys to V, bound to the engine
 // that created it. Operations must be passed the worker's own Tx; called
 // outside Run they execute as standalone auto-committed operations.
+//
+// The key ^uint64(0) (2^64-1) is reserved across all engines for engine
+// metadata: persistent montage-backed engines store their durable frontier
+// markers under it (montage.FrontierKey) and panic on an attempt to bind
+// it. Portable callers must keep user keys below it.
 //
 // On engines without CapDynamicTx, in-transaction return values are
 // undefined (zero): the operation is only recorded for atomic execution.
@@ -206,21 +258,32 @@ type Engine interface {
 	Close()
 }
 
-// Persister is the optional interface of engines backed by a simulated NVM
-// device (txMontage, POneFile). Recovery tests drive the crash/recover
-// cycle through it. Engines whose type carries the methods but whose
-// instance is transient (Medley, OneFile) return a nil Device; callers must
-// check it.
+// Persister is the optional interface of engines backed by simulated NVM
+// devices (txMontage, POneFile, txmontage-sharded). Recovery flows drive
+// the crash/recover cycle through it. The contract is multi-device:
+// single-device engines report one device and a sharded persistent engine
+// reports one per shard. Engines whose type carries the methods but whose
+// instance is transient (Medley, OneFile) return nil Devices; callers must
+// check.
 type Persister interface {
-	// Device returns the engine's simulated NVM device, or nil when the
-	// instance is transient.
-	Device() *pnvm.Device
-	// Sync makes everything committed so far durable: an epoch-boundary
-	// sync for txMontage, a no-op for eagerly persisting engines.
+	// Devices returns the engine's simulated NVM devices, one per
+	// persistence shard (length 1 for single-device engines), or nil when
+	// the instance is transient. The order is stable and matches the dump
+	// order RecoverUintMap expects.
+	Devices() []*pnvm.Device
+	// Sync makes everything committed so far durable on every device at a
+	// mutually consistent cut: a coordinated epoch-boundary sync for the
+	// montage family (all shards advanced together), a no-op for eagerly
+	// persisting engines.
 	Sync()
-	// RecoverUintMap rebuilds a uint64 map from a post-crash device dump
-	// (pnvm.Device.Recover output) on this — freshly constructed — engine.
-	RecoverUintMap(recs []pnvm.Record, spec MapSpec) (Map[uint64], error)
+	// RecoverUintMap rebuilds one logical uint64 map from the post-crash
+	// dumps of every device (pnvm.Device.Recover output, index-aligned
+	// with Devices — see pnvm.DumpAll) on this — freshly constructed —
+	// engine. Dumps are merged at an epoch-consistent cut: state some
+	// devices persisted beyond the cut is discarded so no transaction is
+	// recovered torn. Sharded engines require one dump per shard,
+	// recovered at the same shard count the state was written under.
+	RecoverUintMap(dumps [][]pnvm.Record, spec MapSpec) (Map[uint64], error)
 }
 
 // Builder is one registry entry.
@@ -243,7 +306,9 @@ type Builder struct {
 var registry []Builder
 
 // Register adds a builder to the registry. Registration order is
-// presentation order (Builders, Names). Duplicate keys panic.
+// presentation order (Builders, Names). Duplicate keys panic. The builder's
+// New is wrapped with Config.Validate, so every construction path shares
+// one validation point.
 func Register(b Builder) {
 	key := strings.ToLower(b.Key)
 	for _, have := range registry {
@@ -252,6 +317,13 @@ func Register(b Builder) {
 		}
 	}
 	b.Key = key
+	inner := b.New
+	b.New = func(cfg Config) (Engine, error) {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return inner(cfg)
+	}
 	registry = append(registry, b)
 }
 
@@ -304,10 +376,15 @@ func init() {
 	Register(Builder{Key: "original", Caps: originalCaps, Doc: "untransformed Fraser skiplist (no transactions)", New: newOriginalEngine})
 	// Sharded decorators: S independent base-engine instances behind one
 	// façade, hash-routed keys, ordered-acquire cross-shard commit
-	// (Config.Shards selects S). Registered after their bases so Lookup
+	// (Config.Shards selects S). txmontage-sharded additionally gives every
+	// shard its own epoch system and NVM device on one shared epoch clock,
+	// with a coordinator that advances all shards to mutually consistent
+	// boundaries (see sharded.go). Registered after their bases so Lookup
 	// resolves during construction.
 	Register(Builder{Key: "medley-sharded", Caps: medleyCaps, Doc: "hash-partitioned Medley: per-shard TxManagers, ordered cross-shard commit",
 		New: func(cfg Config) (Engine, error) { return newShardedEngine("medley", cfg) }})
+	Register(Builder{Key: "txmontage-sharded", Caps: medleyCaps, Doc: "hash-partitioned txMontage: per-shard epoch systems + devices, coordinated epoch advance, merge-on-recover",
+		New: func(cfg Config) (Engine, error) { return newShardedEngine("txmontage", cfg) }})
 	Register(Builder{Key: "original-sharded", Caps: originalCaps, Doc: "hash-partitioned untransformed baseline (no transactions)",
 		New: func(cfg Config) (Engine, error) { return newShardedEngine("original", cfg) }})
 }
