@@ -54,6 +54,7 @@ func main() {
 	readPct := flag.Int("readpct", -1, "cache workload: lookup percentage 0-100 (-1: default 90)")
 	accounts := flag.Int("accounts", 0, "transfer workload: account count (0: 1024 scaled); fewer = hotter")
 	lat := flag.Bool("lat", false, "workloads: measure per-transaction latency percentiles (p50/p99 columns)")
+	noHints := flag.Bool("nohints", false, "workloads: disable footprint hints on sharded engines (measure the discovery path)")
 	flag.Parse()
 
 	checkShardsFlag(*shards)
@@ -96,7 +97,7 @@ func main() {
 			Dur: *dur, Scale: *scale,
 			Latencies: pnvm.DefaultLatencies(), EpochLen: *epochLen,
 			Shards: *shards, ZipfS: *zipfS, ReadPct: rp,
-			Accounts: *accounts, Latency: *lat,
+			Accounts: *accounts, Latency: *lat, NoHints: *noHints,
 		}
 		runWorkloads(*wlFlag, *systemsFlag, threads, cfg)
 		return
@@ -137,15 +138,16 @@ func main() {
 		for _, r := range ratios {
 			wl := bench.PaperWorkload(r[0], r[1], r[2], *scale)
 			fmt.Printf("\n## %s, get:insert:remove = %s\n", figName, wl.Ratio())
-			fmt.Printf("%-16s %8s %14s %12s %10s %10s %10s\n", "system", "threads", "txn/s", "commits", "aborts", "retries", "xshard")
+			fmt.Printf("%-16s %8s %14s %12s %10s %10s %10s %10s %10s\n", "system", "threads", "txn/s", "commits", "aborts", "retries", "xshard", "fphit", "fpmiss")
 			for _, name := range systems {
 				for _, th := range threads {
 					sys := mustSystem(name, kind, wl, opt)
 					res := bench.RunThroughput(sys, wl, th, *dur)
 					sys.Close()
-					fmt.Printf("%-16s %8d %14.0f %12d %10d %10d %10d\n",
+					fmt.Printf("%-16s %8d %14.0f %12d %10d %10d %10d %10d %10d\n",
 						res.System, res.Threads, res.Throughput,
-						res.Stats.Commits, res.Stats.Aborts, res.Stats.Retries, res.Stats.CrossShardRestarts)
+						res.Stats.Commits, res.Stats.Aborts, res.Stats.Retries, res.Stats.CrossShardRestarts,
+						res.Stats.FootprintHits, res.Stats.FootprintMisses)
 				}
 			}
 		}
@@ -164,16 +166,13 @@ func main() {
 }
 
 // checkShardsFlag fails fast on invalid -shards values (the registry would
-// reject them anyway, but per-point) and warns on counts far past the
-// host's parallelism — legal, but usually a typo.
+// reject them anyway, but per-point). The non-fatal over-parallelism
+// warning is emitted by the registry itself at engine construction, deduped
+// to once per run.
 func checkShardsFlag(shards int) {
-	warning, err := txengine.ValidateShardsFlag(shards)
-	if err != nil {
+	if err := txengine.ValidateShardsFlag(shards); err != nil {
 		fmt.Fprintln(os.Stderr, "bad -shards:", err)
 		os.Exit(2)
-	}
-	if warning != "" {
-		fmt.Fprintln(os.Stderr, "# warning:", warning)
 	}
 }
 
@@ -285,11 +284,11 @@ func runWorkloads(wlFlag, systemsFlag string, threads []int, cfg workload.Config
 		}
 		fmt.Printf("\n## workload %s (%s)\n", name, sc.Doc)
 		if cfg.Latency {
-			fmt.Printf("%-12s %8s %14s %12s %10s %10s %10s %10s %10s %10s  %s\n",
-				"system", "threads", "txn/s", "commits", "aborts", "retries", "fallbacks", "xshard", "p50", "p99", "audit")
+			fmt.Printf("%-12s %8s %14s %12s %10s %10s %10s %10s %10s %10s %10s %10s  %s\n",
+				"system", "threads", "txn/s", "commits", "aborts", "retries", "fallbacks", "xshard", "fphit", "fpmiss", "p50", "p99", "audit")
 		} else {
-			fmt.Printf("%-12s %8s %14s %12s %10s %10s %10s %10s  %s\n",
-				"system", "threads", "txn/s", "commits", "aborts", "retries", "fallbacks", "xshard", "audit")
+			fmt.Printf("%-12s %8s %14s %12s %10s %10s %10s %10s %10s %10s  %s\n",
+				"system", "threads", "txn/s", "commits", "aborts", "retries", "fallbacks", "xshard", "fphit", "fpmiss", "audit")
 		}
 		for _, engine := range systems {
 			for _, th := range threads {
@@ -301,15 +300,17 @@ func runWorkloads(wlFlag, systemsFlag string, threads []int, cfg workload.Config
 					os.Exit(2)
 				}
 				if cfg.Latency {
-					fmt.Printf("%-12s %8d %14.0f %12d %10d %10d %10d %10d %10v %10v  %s\n",
+					fmt.Printf("%-12s %8d %14.0f %12d %10d %10d %10d %10d %10d %10d %10v %10v  %s\n",
 						res.System, res.Threads, res.Throughput,
 						res.Stats.Commits, res.Stats.Aborts, res.Stats.Retries, res.Stats.Fallbacks,
-						res.Stats.CrossShardRestarts, res.P50, res.P99, res.AuxString())
+						res.Stats.CrossShardRestarts, res.Stats.FootprintHits, res.Stats.FootprintMisses,
+						res.P50, res.P99, res.AuxString())
 				} else {
-					fmt.Printf("%-12s %8d %14.0f %12d %10d %10d %10d %10d  %s\n",
+					fmt.Printf("%-12s %8d %14.0f %12d %10d %10d %10d %10d %10d %10d  %s\n",
 						res.System, res.Threads, res.Throughput,
 						res.Stats.Commits, res.Stats.Aborts, res.Stats.Retries, res.Stats.Fallbacks,
-						res.Stats.CrossShardRestarts, res.AuxString())
+						res.Stats.CrossShardRestarts, res.Stats.FootprintHits, res.Stats.FootprintMisses,
+						res.AuxString())
 				}
 			}
 		}

@@ -57,10 +57,11 @@ type Desc struct {
 	validators []func() bool
 
 	// Inline first storage for the sets: typical transactions (1–10
-	// operations) fit without further allocation; appends spill to the
-	// heap transparently.
+	// operations, at most one layered validator) fit without further
+	// allocation; appends spill to the heap transparently.
 	rsBuf [24]readRec
 	wsBuf [12]Obj
+	vBuf  [1]func() bool
 }
 
 // newDesc allocates a descriptor with its set storage inline.
@@ -68,6 +69,7 @@ func newDesc(owner *Session) *Desc {
 	d := &Desc{owner: owner}
 	d.readSet = d.rsBuf[:0]
 	d.writeSet = d.wsBuf[:0]
+	d.validators = d.vBuf[:0]
 	return d
 }
 

@@ -416,10 +416,29 @@ func (es *EpochSys) Stop() {
 	}
 }
 
-// txCtx is the per-transaction epoch context stored in Session.TxData.
+// txCtx is the per-transaction epoch context stored in Session.TxData. It
+// is embedded in the session's sessExt and reused across transactions —
+// only the owning session's goroutine reads or writes its fields.
 type txCtx struct {
 	epoch uint64
 	slot  *atomic.Uint64
+}
+
+// sessExt is the per-session epoch state cached in Session.Ext: the pinned
+// epoch slot plus a reusable transaction context and validator closure, so
+// TxBegin on the txMontage hot path allocates nothing beyond the MCNS
+// descriptor itself. The validator reads the atomic pinned slot rather than
+// the (owner-only) ctx fields: helpers may evaluate a descriptor's
+// validators concurrently with the owner, and while the descriptor can be
+// finalized (InProg) the owner is still inside TxEnd, so the slot holds
+// exactly the epoch that transaction pinned. A straggling helper that
+// evaluates after the owner moved on gets an arbitrary verdict, but its
+// status CAS then fails against the already-final descriptor — same as the
+// pre-existing helper race.
+type sessExt struct {
+	slot      *atomic.Uint64
+	ctx       txCtx
+	validator func() bool
 }
 
 // Attach wires the epoch system into a TxManager, turning Medley
@@ -428,21 +447,23 @@ type txCtx struct {
 // releases the pin.
 func Attach(mgr *core.TxManager, es *EpochSys) {
 	clock := es.clock
-	slotFor := func(s *core.Session) *atomic.Uint64 {
-		// Sessions are single-goroutine, so the cached slot needs no lock.
-		if sl, ok := s.Ext.(*atomic.Uint64); ok {
-			return sl
+	extFor := func(s *core.Session) *sessExt {
+		// Sessions are single-goroutine, so the cached ext needs no lock.
+		if ext, ok := s.Ext.(*sessExt); ok {
+			return ext
 		}
-		sl := clock.register()
-		s.Ext = sl
-		return sl
+		ext := &sessExt{slot: clock.register()}
+		ext.validator = func() bool { return clock.Current() == ext.slot.Load() }
+		s.Ext = ext
+		return ext
 	}
 	mgr.SetBeginHook(func(s *core.Session) {
-		sl := slotFor(s)
+		ext := extFor(s)
 		e := clock.Current()
-		sl.Store(e)
-		s.TxData = &txCtx{epoch: e, slot: sl}
-		s.Desc().AddValidator(func() bool { return clock.Current() == e })
+		ext.slot.Store(e)
+		ext.ctx = txCtx{epoch: e, slot: ext.slot}
+		s.TxData = &ext.ctx
+		s.Desc().AddValidator(ext.validator)
 	})
 	mgr.SetEndHook(func(s *core.Session, committed bool) {
 		if ctx, ok := s.TxData.(*txCtx); ok {

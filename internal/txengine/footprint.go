@@ -1,0 +1,191 @@
+package txengine
+
+// Footprint prediction for the sharded runtime.
+//
+// A cross-shard transaction on a sharded engine normally discovers its shard
+// set by optimistic execution: the first attempt runs single-shard, and every
+// operation that touches a shard outside the known set restarts the attempt
+// with the union (Stats.CrossShardRestarts). Discovery is correct but pays
+// one wasted execution per footprint growth — on a transfer-style workload at
+// eight shards, the overwhelming majority of transactions restart exactly
+// once just to learn their second shard.
+//
+// This file removes that cost along two complementary paths, in the spirit
+// of surrogate-model partition selection (predict a partition's footprint
+// cheaply instead of discovering it by failure):
+//
+//   - Planner hints (KeyHinter/HintKeys): workloads that know their keys up
+//     front — a transfer knows both accounts before the transaction begins —
+//     pre-declare them. The sharded engine routes the keys, and the next Run
+//     acquires the whole predicted shard set's locks before the first
+//     attempt, skipping discovery entirely.
+//
+//   - A per-worker footprint cache (fpCache): every Run is keyed by its
+//     transaction site — the code pointer of the closure passed to Run, so
+//     all iterations of one workload loop share a key — and the footprint it
+//     committed with is recorded. Once a site's multi-shard footprint has
+//     been observed identically fpConfident times in a row, subsequent Runs
+//     at that site pre-declare it like a hint would. Sites whose footprints
+//     vary run-to-run (uniformly random keys) never reach the confidence
+//     bar and keep the plain discovery path, so the cache cannot make an
+//     unpredictable workload slower or over-lock it.
+//
+// Mispredictions are safe by construction: a predicted attempt that touches
+// a shard outside its pre-declared set falls back to today's restart path —
+// the attempt rolls back, the cache entry is invalidated, and the retry uses
+// the shards the attempt actually touched (not the stale prediction), so a
+// shifted key distribution re-converges after one miss. Prediction
+// effectiveness is surfaced as Stats.FootprintHits / FootprintMisses.
+
+import (
+	"reflect"
+	"slices"
+	"sync"
+)
+
+// KeyHinter is the optional Tx extension of footprint-predicting (sharded)
+// engines: HintKeys pre-declares map keys the worker's next Run will touch,
+// so the transaction can acquire its whole shard set up front instead of
+// discovering it by restart. Hints are consumed by the next Run and apply to
+// all of its attempts; hinting inside Run is a no-op.
+type KeyHinter interface {
+	HintKeys(keys ...uint64)
+}
+
+// HintKeys forwards a footprint hint to tx when its engine supports hints
+// (the sharded decorators); on every other engine it is a no-op, so portable
+// workload code can hint unconditionally. Keys that route to a single shard
+// produce no pre-declaration — the single-shard fast path is already
+// optimal — so over-hinting is harmless.
+func HintKeys(tx Tx, keys ...uint64) {
+	if h, ok := tx.(KeyHinter); ok {
+		h.HintKeys(keys...)
+	}
+}
+
+// fpConfident is the prediction confidence bar: a site's footprint must have
+// been observed identically this many times in a row before Runs pre-declare
+// it. One observation is not enough — a site that alternates footprints
+// (random keys) would then mispredict on every other Run, and a mispredicted
+// attempt costs more than a discovery restart (it holds exclusive locks it
+// did not need). Three consecutive observations make a lucky streak on a
+// uniformly random site rare (at eight shards, under 0.2% of Runs) while a
+// genuinely stable site still converges within its first few iterations.
+const fpConfident = 3
+
+// fpEntry is one transaction site's learned footprint.
+type fpEntry struct {
+	want []int // last observed multi-shard footprint, ascending
+	conf uint8 // consecutive identical observations (saturating)
+}
+
+// fpCache is the per-worker footprint cache: transaction site → learned
+// shard set. It lives on the worker's Tx handle, so it is touched by exactly
+// one goroutine and needs no synchronization; the one-entry last-site memo
+// makes the common case (a worker looping over one transaction body) a
+// pointer compare instead of a map probe.
+type fpCache struct {
+	m        map[uintptr]*fpEntry
+	lastSite uintptr
+	lastE    *fpEntry
+}
+
+// entry returns the cache entry for site, nil if none. Negative results are
+// memoized too: a single-shard-only site pays one map probe, then pointer
+// compares.
+func (c *fpCache) entry(site uintptr) *fpEntry {
+	if site == c.lastSite && site != 0 {
+		return c.lastE
+	}
+	e := c.m[site]
+	c.lastSite, c.lastE = site, e
+	return e
+}
+
+// predict returns the shard set to pre-declare for a Run at site, or nil
+// when the site has no confident multi-shard footprint. The returned slice
+// is entry-owned: callers must not mutate or recycle it.
+func (c *fpCache) predict(site uintptr) []int {
+	if e := c.entry(site); e != nil && e.conf >= fpConfident {
+		return e.want
+	}
+	return nil
+}
+
+// learn records the footprint a Run at site actually used. Multi-shard
+// footprints build confidence when stable and reset it when they change;
+// single-shard Runs decay confidence, so a site that stops crossing shards
+// stops being predicted.
+func (c *fpCache) learn(site uintptr, fp []int) {
+	if len(fp) <= 1 {
+		if e := c.entry(site); e != nil && e.conf > 0 {
+			e.conf--
+		}
+		return
+	}
+	e := c.entry(site)
+	if e == nil {
+		if c.m == nil {
+			c.m = make(map[uintptr]*fpEntry, 8)
+		}
+		e = &fpEntry{}
+		c.m[site] = e
+		c.lastSite, c.lastE = site, e
+	}
+	if slices.Equal(e.want, fp) {
+		if e.conf < 250 {
+			e.conf++
+		}
+		return
+	}
+	e.want = slices.Clone(fp)
+	e.conf = 1
+}
+
+// miss invalidates site's prediction after a mispredicted attempt: the key
+// distribution shifted under the cache, so demand fresh confirmations before
+// predicting again.
+func (c *fpCache) miss(site uintptr) {
+	if e := c.entry(site); e != nil {
+		e.conf = 0
+	}
+}
+
+// runSite identifies a Run's transaction site: the code pointer of the
+// closure passed to Run. Every instantiation of one source-level closure
+// shares it, so a worker looping over a workload body accumulates history
+// under one key, while distinct transaction shapes stay separate.
+func runSite(fn func() error) uintptr {
+	return reflect.ValueOf(fn).Pointer()
+}
+
+// footprintPool recycles the shard-set slices allocated on the footprint
+// discovery/growth path, so a restart-heavy phase (cold cache, shifted keys)
+// does not allocate one set per restart. Handle-local sets (hint buffers,
+// used/begun tracking) are reused in place and never enter the pool.
+var footprintPool = sync.Pool{New: func() any { s := make([]int, 0, 8); return &s }}
+
+func getFootprint() *[]int { return footprintPool.Get().(*[]int) }
+
+func putFootprint(p *[]int) {
+	*p = (*p)[:0]
+	footprintPool.Put(p)
+}
+
+// insertShard inserts s into an ascending shard set in place, returning the
+// (possibly grown) slice. Shard sets are tiny — a handful of ints — so the
+// linear scan beats any cleverness.
+func insertShard(set []int, s int) []int {
+	for i, v := range set {
+		if v == s {
+			return set
+		}
+		if v > s {
+			set = append(set, 0)
+			copy(set[i+1:], set[i:])
+			set[i] = s
+			return set
+		}
+	}
+	return append(set, s)
+}

@@ -1,0 +1,477 @@
+package txengine
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// keyOnShard returns the first key >= start that routes to shard s on se.
+func keyOnShard(t testing.TB, se *shardedEngine, s int, start uint64) uint64 {
+	t.Helper()
+	for k := start; k < start+1<<20; k++ {
+		if se.shardOf(k) == s {
+			return k
+		}
+	}
+	t.Fatalf("no key on shard %d near %d", s, start)
+	return 0
+}
+
+// distinctShardKeys returns n keys routing to n distinct shards, in shard
+// order 0..n-1, with successive calls disjoint via start.
+func distinctShardKeys(t testing.TB, se *shardedEngine, n int, start uint64) []uint64 {
+	t.Helper()
+	keys := make([]uint64, n)
+	next := start
+	for s := 0; s < n; s++ {
+		keys[s] = keyOnShard(t, se, s, next)
+		next = keys[s] + 1
+	}
+	return keys
+}
+
+// transferOnce is the shared transaction site for the footprint-cache tests:
+// every call Runs the same closure code, so the worker's cache accumulates
+// history for it across key pairs.
+func transferOnce(t *testing.T, tx Tx, src, dst Map[uint64], from, to uint64) {
+	t.Helper()
+	if err := tx.Run(func() error {
+		c, _ := src.Get(tx, from)
+		if c == 0 {
+			return nil
+		}
+		src.Put(tx, from, c-1)
+		d, _ := dst.Get(tx, to)
+		dst.Put(tx, to, d+1)
+		return nil
+	}); err != nil {
+		t.Fatalf("transfer: %v", err)
+	}
+}
+
+// TestShardedHintedTransferNoDiscovery: with both keys pre-declared via
+// HintKeys, cross-shard transfers must acquire their footprint up front —
+// zero discovery restarts, every cross-shard Run a footprint hit, and no
+// misses — while conserving value.
+func TestShardedHintedTransferNoDiscovery(t *testing.T) {
+	const iters = 400
+	eng, err := Build("medley-sharded", Config{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	se := eng.(*shardedEngine)
+	checking, _ := eng.NewUintMap(MapSpec{Kind: KindHash, Buckets: 256})
+	savings, _ := eng.NewUintMap(MapSpec{Kind: KindHash, Buckets: 256})
+
+	const accounts = 64
+	init := eng.NewWorker(0)
+	for a := uint64(0); a < accounts; a++ {
+		checking.Put(init, a, 1000)
+		savings.Put(init, a, 1000)
+	}
+
+	tx := eng.NewWorker(1)
+	rng := rand.New(rand.NewPCG(42, 1))
+	base := eng.Stats()
+	wantHits := uint64(0)
+	for i := 0; i < iters; i++ {
+		from, to := rng.Uint64N(accounts), rng.Uint64N(accounts)
+		if se.shardOf(from) != se.shardOf(to) {
+			wantHits++
+		}
+		HintKeys(tx, from, to)
+		transferOnce(t, tx, checking, savings, from, to)
+	}
+	d := eng.Stats().Delta(base)
+	if d.CrossShardRestarts != 0 {
+		t.Errorf("hinted transfers paid %d discovery restarts, want 0", d.CrossShardRestarts)
+	}
+	if d.FootprintMisses != 0 {
+		t.Errorf("hinted transfers counted %d misses, want 0", d.FootprintMisses)
+	}
+	if d.FootprintHits != wantHits {
+		t.Errorf("FootprintHits = %d, want %d (one per cross-shard Run)", d.FootprintHits, wantHits)
+	}
+	if d.Commits != iters {
+		t.Errorf("Commits = %d, want %d", d.Commits, iters)
+	}
+
+	audit := eng.NewWorker(2)
+	sum := uint64(0)
+	for a := uint64(0); a < accounts; a++ {
+		c, _ := checking.Get(audit, a)
+		s, _ := savings.Get(audit, a)
+		sum += c + s
+	}
+	if sum != 2*accounts*1000 {
+		t.Fatalf("conservation violated: sum %d, want %d", sum, 2*accounts*1000)
+	}
+}
+
+// TestShardedFootprintCacheConverges pins the cache's deterministic
+// convergence on a stable site: a fixed cross-shard key pair pays exactly
+// fpConfident discovery restarts (one per confidence-building Run), after
+// which every Run is a predicted hit with no further restarts.
+func TestShardedFootprintCacheConverges(t *testing.T) {
+	const iters = 50
+	eng, err := Build("medley-sharded", Config{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	se := eng.(*shardedEngine)
+	m1, _ := eng.NewUintMap(MapSpec{Kind: KindHash, Buckets: 64})
+	m2, _ := eng.NewUintMap(MapSpec{Kind: KindHash, Buckets: 64})
+
+	keys := distinctShardKeys(t, se, 2, 0)
+	init := eng.NewWorker(0)
+	m1.Put(init, keys[0], 10_000)
+	m2.Put(init, keys[1], 10_000)
+
+	tx := eng.NewWorker(1)
+	base := eng.Stats()
+	for i := 0; i < iters; i++ {
+		transferOnce(t, tx, m1, m2, keys[0], keys[1])
+	}
+	d := eng.Stats().Delta(base)
+	if d.CrossShardRestarts != fpConfident {
+		t.Errorf("stable site paid %d discovery restarts, want exactly fpConfident=%d", d.CrossShardRestarts, fpConfident)
+	}
+	if want := uint64(iters - fpConfident); d.FootprintHits != want {
+		t.Errorf("FootprintHits = %d, want %d (every Run after convergence)", d.FootprintHits, want)
+	}
+	if d.FootprintMisses != 0 {
+		t.Errorf("FootprintMisses = %d, want 0", d.FootprintMisses)
+	}
+}
+
+// TestShardedFootprintCacheInvalidatesOnShift: when a site's key
+// distribution shifts mid-run, the first predicted Run after the shift
+// mispredicts once, falls back to discovery (committing atomically), and
+// the cache re-converges on the new footprint.
+func TestShardedFootprintCacheInvalidatesOnShift(t *testing.T) {
+	const phase = 20
+	eng, err := Build("medley-sharded", Config{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	se := eng.(*shardedEngine)
+	m1, _ := eng.NewUintMap(MapSpec{Kind: KindHash, Buckets: 64})
+	m2, _ := eng.NewUintMap(MapSpec{Kind: KindHash, Buckets: 64})
+
+	// Four keys on four distinct shards: phase A transfers 0→1, phase B 2→3.
+	keys := distinctShardKeys(t, se, 4, 0)
+	init := eng.NewWorker(0)
+	for _, k := range keys {
+		m1.Put(init, k, 10_000)
+		m2.Put(init, k, 10_000)
+	}
+
+	tx := eng.NewWorker(1)
+	for i := 0; i < phase; i++ {
+		transferOnce(t, tx, m1, m2, keys[0], keys[1])
+	}
+	base := eng.Stats()
+	for i := 0; i < phase; i++ {
+		transferOnce(t, tx, m1, m2, keys[2], keys[3])
+	}
+	d := eng.Stats().Delta(base)
+	if d.FootprintMisses != 1 {
+		t.Errorf("shifted site counted %d misses, want exactly 1 (the stale prediction)", d.FootprintMisses)
+	}
+	// The mispredicted Run restarts twice (once dropping the stale set,
+	// once growing to the second new shard) and its commit already counts
+	// as the first fresh observation; the following fpConfident-1 Runs
+	// rebuild confidence with one discovery restart each; the rest hit.
+	if want := uint64(fpConfident + 1); d.CrossShardRestarts != want {
+		t.Errorf("shift paid %d restarts, want %d", d.CrossShardRestarts, want)
+	}
+	if want := uint64(phase - fpConfident); d.FootprintHits != want {
+		t.Errorf("FootprintHits after shift = %d, want %d", d.FootprintHits, want)
+	}
+	if d.Commits != phase {
+		t.Errorf("Commits = %d, want %d (every shifted Run must still commit)", d.Commits, phase)
+	}
+
+	// Atomicity across the shift: all value movements conserved.
+	audit := eng.NewWorker(2)
+	sum := uint64(0)
+	for _, k := range keys {
+		a, _ := m1.Get(audit, k)
+		b, _ := m2.Get(audit, k)
+		sum += a + b
+	}
+	if sum != 8*10_000 {
+		t.Fatalf("conservation violated across distribution shift: sum %d, want %d", sum, 8*10_000)
+	}
+}
+
+// TestShardedHintAuthoritative: a hint that resolves to a single shard must
+// suppress any stale cache prediction for that Run — the declared footprint
+// wins, so a converged multi-shard site followed by a hinted single-shard
+// Run pays neither a misprediction nor a restart.
+func TestShardedHintAuthoritative(t *testing.T) {
+	eng, err := Build("medley-sharded", Config{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	se := eng.(*shardedEngine)
+	m1, _ := eng.NewUintMap(MapSpec{Kind: KindHash, Buckets: 64})
+	m2, _ := eng.NewUintMap(MapSpec{Kind: KindHash, Buckets: 64})
+
+	keys := distinctShardKeys(t, se, 2, 0)
+	init := eng.NewWorker(0)
+	m1.Put(init, keys[0], 1000)
+	m2.Put(init, keys[0], 1000)
+	m2.Put(init, keys[1], 1000)
+
+	// Converge the site on the cross-shard pair.
+	tx := eng.NewWorker(1)
+	for i := 0; i < fpConfident+2; i++ {
+		transferOnce(t, tx, m1, m2, keys[0], keys[1])
+	}
+
+	// Same site, single-shard keys, hinted: the cache's {shard0, shard1}
+	// entry must not be consulted.
+	base := eng.Stats()
+	HintKeys(tx, keys[0], keys[0])
+	transferOnce(t, tx, m1, m2, keys[0], keys[0])
+	d := eng.Stats().Delta(base)
+	if d.FootprintMisses != 0 || d.CrossShardRestarts != 0 {
+		t.Errorf("hinted single-shard Run after a converged cross-shard site: misses=%d restarts=%d, want 0/0",
+			d.FootprintMisses, d.CrossShardRestarts)
+	}
+	if d.FootprintHits != 0 {
+		t.Errorf("single-shard hint counted a hit (%d); only multi-shard pre-declarations count", d.FootprintHits)
+	}
+}
+
+// TestShardedMispredictFallbackConservation is the concurrent misprediction
+// audit at shards 2 and 8: workers run transfers whose hints are frequently
+// wrong (stale keys hinted, fresh keys transacted), so predicted attempts
+// mispredict and fall back to discovery mid-flight, while auditors sweep
+// the whole ledger. Conservation must hold throughout and at the end.
+func TestShardedMispredictFallbackConservation(t *testing.T) {
+	const (
+		accounts = 48
+		perAcct  = 1000
+		workers  = 4
+		iters    = 250
+	)
+	for _, shards := range []int{2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			eng, err := Build("medley-sharded", Config{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			checking, _ := eng.NewUintMap(MapSpec{Kind: KindHash, Buckets: 256})
+			savings, _ := eng.NewUintMap(MapSpec{Kind: KindHash, Buckets: 256})
+			init := eng.NewWorker(0)
+			for a := uint64(0); a < accounts; a++ {
+				checking.Put(init, a, perAcct)
+				savings.Put(init, a, perAcct)
+			}
+
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					tx := eng.NewWorker(1 + id)
+					rng := rand.New(rand.NewPCG(uint64(id)+7, uint64(shards)))
+					for i := 0; i < iters; i++ {
+						from := rng.Uint64N(accounts)
+						to := rng.Uint64N(accounts)
+						// Deliberately stale hint: declare a different key
+						// pair than the transaction will touch. On wide
+						// shard counts this mispredicts regularly; the
+						// fallback must stay atomic.
+						HintKeys(tx, rng.Uint64N(accounts), rng.Uint64N(accounts))
+						err := tx.Run(func() error {
+							c, ok := checking.Get(tx, from)
+							if !ok || c == 0 {
+								return nil
+							}
+							amt := uint64(rng.IntN(int(min(c, 50))) + 1)
+							s, _ := savings.Get(tx, to)
+							checking.Put(tx, from, c-amt)
+							savings.Put(tx, to, s+amt)
+							return nil
+						})
+						if err != nil {
+							t.Errorf("transfer: %v", err)
+							return
+						}
+					}
+				}(w)
+			}
+			stop := make(chan struct{})
+			violation := make(chan string, 1)
+			var rwg sync.WaitGroup
+			rwg.Add(1)
+			go func() {
+				defer rwg.Done()
+				tx := eng.NewWorker(100)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					sum := uint64(0)
+					err := tx.Run(func() error {
+						sum = 0
+						for a := uint64(0); a < accounts; a++ {
+							c, _ := checking.Get(tx, a)
+							s, _ := savings.Get(tx, a)
+							sum += c + s
+						}
+						return nil
+					})
+					if err == nil && sum != 2*accounts*perAcct {
+						select {
+						case violation <- fmt.Sprintf("committed sweep sums %d, want %d", sum, 2*accounts*perAcct):
+						default:
+						}
+					}
+				}
+			}()
+			wg.Wait()
+			close(stop)
+			rwg.Wait()
+			select {
+			case v := <-violation:
+				t.Fatalf("misprediction fallback tore a transfer: %s", v)
+			default:
+			}
+
+			final := eng.NewWorker(999)
+			sum := uint64(0)
+			for a := uint64(0); a < accounts; a++ {
+				c, _ := checking.Get(final, a)
+				s, _ := savings.Get(final, a)
+				sum += c + s
+			}
+			if sum != 2*accounts*perAcct {
+				t.Fatalf("final sum %d != %d", sum, 2*accounts*perAcct)
+			}
+			if shards == 8 {
+				// At 8 shards disjoint key pairs are common, so the stale
+				// hints must actually have exercised the miss path.
+				if misses := eng.Stats().FootprintMisses; misses == 0 {
+					t.Error("stale hints produced no FootprintMisses at 8 shards; the fallback path went unexercised")
+				}
+			}
+		})
+	}
+}
+
+// TestShardsOverParallelismWarningOnce pins the registry-wrapper dedupe:
+// however many sharded engines a run constructs at an over-parallel shard
+// count, the warning prints once per distinct count.
+func TestShardsOverParallelismWarningOnce(t *testing.T) {
+	var mu sync.Mutex
+	var warned []string
+	orig := warnShardsFn
+	warnShardsFn = func(msg string) {
+		mu.Lock()
+		warned = append(warned, msg)
+		mu.Unlock()
+	}
+	defer func() { warnShardsFn = orig }()
+
+	// Counts chosen to be over-parallel on any host this test runs on, and
+	// distinct from anything other tests construct, so the process-global
+	// dedupe map is fresh for them.
+	n1 := 4*runtime.GOMAXPROCS(0) + 7
+	n2 := 4*runtime.GOMAXPROCS(0) + 9
+	for i := 0; i < 3; i++ {
+		eng, err := Build("medley-sharded", Config{Shards: n1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Close()
+	}
+	if len(warned) != 1 {
+		t.Fatalf("3 constructions at shards=%d warned %d times, want once: %v", n1, len(warned), warned)
+	}
+	eng, err := Build("original-sharded", Config{Shards: n2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	if len(warned) != 2 {
+		t.Fatalf("a distinct over-parallel count must warn anew: got %d warnings", len(warned))
+	}
+	// Non-sharded engines ignore Config.Shards and must not warn.
+	if eng, err = Build("medley", Config{Shards: n1 + 2}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	if len(warned) != 2 {
+		t.Fatalf("non-sharded engine warned about Shards it ignores: %v", warned)
+	}
+}
+
+// TestShardedQueueHomeRoundRobinConcurrent pins the atomic round-robin
+// home-shard assignment: queues created concurrently — including from
+// concurrently built engines — spread exactly evenly, with no duplicate or
+// lost counter slots (the data race an unsynchronized counter would have;
+// run under -race in CI).
+func TestShardedQueueHomeRoundRobinConcurrent(t *testing.T) {
+	const (
+		engines   = 4
+		makers    = 4
+		perMaker  = 8
+		shardsCnt = 8
+	)
+	var ewg sync.WaitGroup
+	for e := 0; e < engines; e++ {
+		ewg.Add(1)
+		go func() {
+			defer ewg.Done()
+			eng, err := Build("medley-sharded", Config{Shards: shardsCnt})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer eng.Close()
+			homes := make(chan int, makers*perMaker)
+			var wg sync.WaitGroup
+			for m := 0; m < makers; m++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perMaker; i++ {
+						q, err := eng.NewUintQueue()
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						homes <- q.(*shardedQueue).home
+					}
+				}()
+			}
+			wg.Wait()
+			close(homes)
+			perShard := make([]int, shardsCnt)
+			for h := range homes {
+				perShard[h]++
+			}
+			for s, n := range perShard {
+				if n != makers*perMaker/shardsCnt {
+					t.Errorf("shard %d is home to %d queues, want %d (round-robin must stay exact under concurrency)",
+						s, n, makers*perMaker/shardsCnt)
+				}
+			}
+		}()
+	}
+	ewg.Wait()
+}

@@ -3,6 +3,8 @@ package txengine
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"reflect"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -19,10 +21,12 @@ import (
 // map key to its owning shard. Single-shard transactions run entirely on
 // that shard's optimistic machinery, under the shard's read lock, so they
 // scale with the shard count instead of funneling through one manager.
-// Cross-shard transactions discover their shard footprint by optimistic
-// execution (an op touching a shard outside the known set restarts the
-// attempt with the union) and then reacquire the involved shards' locks
-// exclusively, in ascending shard order. Exclusivity makes every per-shard
+// Cross-shard transactions acquire the involved shards' locks exclusively,
+// in ascending shard order; the shard set comes from footprint prediction —
+// a HintKeys pre-declaration or the worker's site-keyed footprint cache
+// (see footprint.go) — or, when neither applies, from optimistic discovery
+// (an op touching a shard outside the known set restarts the attempt with
+// the union). Exclusivity makes every per-shard
 // sub-commit deterministic — no concurrent activity can invalidate a locked
 // shard's read set — so the ordered commit sequence is failure-free and the
 // composition audits (cross-map transfer conservation, queue+map claim
@@ -267,12 +271,17 @@ func (e *shardedEngine) RecoverUintMap(dumps [][]pnvm.Record, spec MapSpec) (Map
 	return &shardedMap[uint64]{e: e, sub: sub}, nil
 }
 
-// shardOf routes a key to its owning shard (Fibonacci hashing spreads
-// sequential keys uniformly).
+// shardOf routes a key to its owning shard: Fibonacci hashing spreads
+// sequential keys uniformly, and the multiply-high range reduction maps the
+// hash onto [0, shards) without the integer division a modulo would cost on
+// every operation. Worker handles additionally memoize recent routes
+// (shardedTx.routeOf), so the repeated-key pattern inside one transaction
+// (Get then Put of the same key) hashes once.
 func (e *shardedEngine) shardOf(k uint64) int {
 	h := k * 0x9e3779b97f4a7c15
 	h ^= h >> 32
-	return int(h % uint64(len(e.shards)))
+	hi, _ := bits.Mul64(h, uint64(len(e.shards)))
+	return int(hi)
 }
 
 // subSpec divides a caller's sizing hints across the shards.
@@ -315,49 +324,120 @@ func (e *shardedEngine) NewUintQueue() (Queue[uint64], error) {
 }
 
 func (e *shardedEngine) NewWorker(tid int) Tx {
-	return &shardedTx{e: e, tid: tid, base: make([]Tx, len(e.shards)), cur: -1}
+	n := len(e.shards)
+	return &shardedTx{e: e, tid: tid,
+		base: make([]Tx, n), man: make([]manualTx, n), pin: make([]epochPinned, n),
+		cur: -1}
 }
 
 // growRestart is the control-flow sentinel thrown when an attempt touches a
 // shard outside its locked set; Run catches it and retries with the union.
 type growRestart struct{ want []int }
 
+// routeMemoSize is the worker handle's direct-mapped key→shard memo size.
+// Must be a power of two.
+const routeMemoSize = 8
+
 // shardedTx is the per-worker handle: a lazily filled pool of base handles,
 // one per shard this worker has touched, plus the state of the current
-// attempt. Not goroutine-safe, like every Tx.
+// attempt, the route memo, and the footprint-prediction state (pending hint
+// + site-keyed cache). Not goroutine-safe, like every Tx.
 type shardedTx struct {
 	e    *shardedEngine
 	tid  int
-	base []Tx // per-shard base handles, created on first touch
+	base []Tx           // per-shard base handles, created on first touch
+	man  []manualTx     // cached manual-transaction seam per handle
+	pin  []epochPinned  // cached epoch seam per handle (nil where absent)
 
 	inRun     bool
 	cross     bool  // attempt holds exclusive locks on want
+	predicted bool  // attempt's want was pre-declared (hint or cache)
 	locksHeld bool  // cross-mode locks currently held
 	want      []int // cross mode: ascending shard set to lock
+	used      []int // shards the attempt's ops actually entered, ascending
 	begun     []int // shards with an open base sub-transaction
 	cur       int   // single-shard mode: the shard in use, -1 if none yet
-	aborted   bool  // Tx.Abort doomed the current Run
-	bo        backoff
+	aborted   bool   // Tx.Abort doomed the current Run
+	grown     *[]int // pooled holder backing the current attempt's grown want
+	grownNext *[]int // pooled holder staged by growTo, adopted by Run
+	one       [1]int // scratch for growTo's single-shard source set
+
+	hintPending bool    // a HintKeys declaration awaits the next Run
+	hint        []int   // the declared shard set; nil when it was single-shard
+	hintBuf     []int   // backing storage for hint, reused across hints
+	readSite    uintptr // RunRead's real site, threaded past its adapter closure
+	fp          fpCache
+
+	// Direct-mapped key→shard memo: repeated keys (Get then Put inside one
+	// transaction, hot keys across iterations) skip the hash. memoS stores
+	// shard+1 so the zero value means empty; uint16 covers MaxShards.
+	memoK [routeMemoSize]uint64
+	memoS [routeMemoSize]uint16
+
+	bo backoff
 }
 
-// handle returns this worker's base handle for shard s, creating it (and
-// its base session) on first touch — the per-shard session pool.
+// handle returns this worker's base handle for shard s, creating it (and its
+// base session) on first touch — the per-shard session pool. Creation also
+// caches the handle's manualTx and epochPinned seams, so the per-operation
+// and per-commit paths never repeat the interface assertions.
 func (t *shardedTx) handle(s int) Tx {
-	if t.base[s] == nil {
-		t.base[s] = t.e.shards[s].eng.NewWorker(t.tid)
+	h := t.base[s]
+	if h == nil {
+		h = t.e.shards[s].eng.NewWorker(t.tid)
+		t.base[s] = h
+		if m, ok := h.(manualTx); ok {
+			t.man[s] = m
+		}
+		if p, ok := h.(epochPinned); ok {
+			t.pin[s] = p
+		}
 	}
-	return t.base[s]
+	return h
 }
 
 func (t *shardedTx) manual(s int) manualTx {
-	m, ok := t.handle(s).(manualTx)
-	if !ok {
+	t.handle(s)
+	m := t.man[s]
+	if m == nil {
 		// Transactional bases must expose explicit transaction control;
 		// sessionTx carries a compile-time assertion, so this only fires if
 		// a new base is wired up without it.
 		panic("txengine: " + t.e.name + " base workers lack manual transaction control")
 	}
 	return m
+}
+
+// routeOf is shardOf through the handle's memo.
+func (t *shardedTx) routeOf(k uint64) int {
+	i := k & (routeMemoSize - 1)
+	if t.memoK[i] == k && t.memoS[i] != 0 {
+		return int(t.memoS[i]) - 1
+	}
+	s := t.e.shardOf(k)
+	t.memoK[i], t.memoS[i] = k, uint16(s+1)
+	return s
+}
+
+// HintKeys implements KeyHinter: route the declared keys and stage their
+// shard set for the next Run. Sets of one shard pre-declare nothing — the
+// single-shard path needs none — but the hint still marks the next Run as
+// hinted, so it trusts the declaration over any cached footprint.
+func (t *shardedTx) HintKeys(keys ...uint64) {
+	if t.inRun {
+		return
+	}
+	h := t.hintBuf[:0]
+	for _, k := range keys {
+		h = insertShard(h, t.routeOf(k))
+	}
+	t.hintBuf = h
+	t.hintPending = true
+	if len(h) > 1 {
+		t.hint = h
+	} else {
+		t.hint = nil
+	}
 }
 
 var noRelease = func() {}
@@ -381,21 +461,50 @@ func (t *shardedTx) enter(s int) (Tx, func()) {
 	}
 	if t.cross {
 		if !slices.Contains(t.want, s) {
-			panic(growRestart{want: unionShard(t.want, s)})
+			panic(growRestart{want: t.growTo(s)})
 		}
+		t.used = insertShard(t.used, s)
 		return t.handle(s), noRelease
 	}
 	if t.cur == s {
 		return t.handle(s), noRelease
 	}
 	if t.cur != -1 {
-		panic(growRestart{want: unionShard([]int{t.cur}, s)})
+		panic(growRestart{want: t.growTo(s)})
 	}
 	t.e.shards[s].mu.RLock()
 	t.cur = s
+	t.used = append(t.used[:0], s)
 	t.manual(s).beginManual()
 	t.begun = append(t.begun, s)
 	return t.handle(s), noRelease
+}
+
+// growTo builds the next attempt's shard set when the current attempt
+// touched shard s outside its footprint. Discovery attempts grow their
+// locked set by s; mispredicted attempts fall back to the shards they
+// actually used plus s, dropping the stale prediction so a bad hint or a
+// shifted cache entry cannot drag unneeded shards through the retry. The
+// set lives in a pooled slice owned by the Run loop (see footprintPool).
+func (t *shardedTx) growTo(s int) []int {
+	var src []int
+	switch {
+	case !t.cross:
+		t.one[0] = t.cur
+		src = t.one[:1]
+	case t.predicted:
+		src = t.used
+	default:
+		src = t.want
+	}
+	np := getFootprint()
+	out := append((*np)[:0], src...)
+	*np = insertShard(out, s)
+	// The previous pooled set (if any) still backs t.want, which the
+	// in-flight attempt's rollback/unlock will walk while unwinding; Run
+	// recycles it only after adopting this one.
+	t.grownNext = np
+	return *np
 }
 
 // unlock releases whatever locks the current attempt holds. Idempotent.
@@ -419,7 +528,7 @@ func (t *shardedTx) unlock() {
 // locks. Idempotent.
 func (t *shardedTx) rollback() {
 	for _, s := range t.begun {
-		t.manual(s).abortManual()
+		t.man[s].abortManual()
 	}
 	t.begun = t.begun[:0]
 	t.unlock()
@@ -439,20 +548,32 @@ func (t *shardedTx) rollback() {
 // validators (MCNS reads under exclusive locks, epochs under the guard)
 // can fail.
 func (t *shardedTx) commit() error {
-	defer t.unlock()
 	if !t.cross {
+		// Single-shard fast path: no cross-shard machinery at all — no
+		// epoch-clock commit guard, no pinned-epoch pre-check, no ordered
+		// sequence. The shard's own base engine validates the commit (its
+		// epoch validator included, on persistent bases), and the read lock
+		// is dropped straight after. A panic inside commitManual unwinds
+		// through attempt's recover, whose rollback releases the lock.
 		if t.cur == -1 {
 			return nil // the transaction touched nothing
 		}
+		s := t.cur
 		t.begun = t.begun[:0]
-		return t.manual(t.cur).commitManual()
+		err := t.man[s].commitManual()
+		t.e.shards[s].mu.RUnlock()
+		t.cur = -1
+		return err
 	}
+	defer t.unlock()
 	if t.e.clock != nil && len(t.begun) > 0 {
 		cur, release := t.e.clock.GuardCommit()
 		defer release()
+		// Batched pre-check: one pass over the handle-cached epoch seams —
+		// no per-shard interface assertions on the commit path.
 		for _, s := range t.begun {
-			ep, ok := t.handle(s).(epochPinned)
-			if ok && ep.pinnedEpoch() != cur {
+			ep := t.pin[s]
+			if ep != nil && ep.pinnedEpoch() != cur {
 				// The epoch advanced between this attempt's sub-begins, so
 				// the sub-transactions straddle two cuts. Committing them
 				// would either tear mid-sequence (a later shard's epoch
@@ -465,7 +586,7 @@ func (t *shardedTx) commit() error {
 		}
 	}
 	for i, s := range t.begun {
-		if err := t.manual(s).commitManual(); err != nil {
+		if err := t.man[s].commitManual(); err != nil {
 			if i > 0 {
 				// Earlier shards already committed. With every involved
 				// shard exclusively locked (and the epoch guarded above) no
@@ -475,7 +596,7 @@ func (t *shardedTx) commit() error {
 				panic(fmt.Sprintf("txengine: %s cross-shard commit tore at shard %d: %v", t.e.name, s, err))
 			}
 			for _, r := range t.begun[i+1:] {
-				t.manual(r).abortManual()
+				t.man[r].abortManual()
 			}
 			t.begun = t.begun[:0]
 			return err
@@ -493,6 +614,7 @@ func (t *shardedTx) attempt(fn func() error, want []int) (err error, grew []int)
 	t.aborted = false
 	t.cur = -1
 	t.begun = t.begun[:0]
+	t.used = t.used[:0]
 	t.cross = want != nil
 	t.want = want
 	if t.cross {
@@ -532,23 +654,65 @@ func (t *shardedTx) attempt(fn func() error, want []int) (err error, grew []int)
 	return t.commit(), nil
 }
 
-// Run implements Tx: optimistic single-shard execution first, restarting
+// Run implements Tx. The first attempt's shard set comes, in priority
+// order, from a pending HintKeys pre-declaration, from the worker's
+// footprint cache when the transaction site has a confident history, or —
+// the discovery path — from optimistic single-shard execution that restarts
 // into the ordered-acquire cross-shard path as the footprint reveals
-// itself, with conflict aborts retried under the shared backoff.
+// itself. Pre-declared footprints that hold count as FootprintHits and skip
+// discovery entirely; mispredictions count as FootprintMisses, invalidate
+// the cache entry, and fall back to discovery seeded with the shards the
+// attempt actually touched. Conflict aborts retry under the shared backoff.
 // Footprint-discovery restarts are not conflicts (nobody aborted anybody),
 // so they count as CrossShardRestarts rather than inflating Aborts/Retries.
 func (t *shardedTx) Run(fn func() error) error {
 	if !t.e.txCap {
 		panic("txengine: " + t.e.name + " supports no transactions")
 	}
-	execs := 0
+	var site uintptr
 	var want []int
+	hinted := t.hintPending
+	if hinted {
+		// A hint is authoritative: the workload declared its keys, so the
+		// cache is neither consulted nor updated (and the site lookup is
+		// skipped altogether on this hot path).
+		t.hintPending = false
+		want, t.hint = t.hint, nil
+	} else {
+		if site = t.readSite; site == 0 {
+			site = runSite(fn)
+		}
+		want = t.fp.predict(site)
+	}
+	predicted := want != nil
+	execs := 0
 	for attempt := 0; ; attempt++ {
+		t.predicted = predicted
 		err, grew := t.attempt(fn, want)
 		if grew != nil {
+			// The failed attempt has fully unwound; its shard set (possibly
+			// a pooled slice from an earlier growth) is dead now, and the
+			// staged replacement becomes the next attempt's set.
+			if t.grown != nil {
+				putFootprint(t.grown)
+			}
+			t.grown, t.grownNext = t.grownNext, nil
 			t.e.ct.crossRestarts.Add(1)
+			if predicted {
+				t.e.ct.fpMisses.Add(1)
+				if !hinted {
+					t.fp.miss(site)
+				}
+				predicted = false
+			}
 			want = grew
 			continue // footprint restart: no backoff, nobody conflicted
+		}
+		if predicted {
+			// The pre-declared footprint covered every operation of the
+			// attempt; count the hit once per Run, whatever the outcome.
+			t.e.ct.fpHits.Add(1)
+			predicted = false
 		}
 		execs++
 		if err == nil {
@@ -557,6 +721,7 @@ func (t *shardedTx) Run(fn func() error) error {
 			if execs > 1 {
 				t.e.ct.retries.Add(uint64(execs - 1))
 			}
+			t.finishRun(site, hinted)
 			return nil
 		}
 		if errors.Is(err, core.ErrTxAborted) {
@@ -567,12 +732,33 @@ func (t *shardedTx) Run(fn func() error) error {
 		if execs > 1 {
 			t.e.ct.retries.Add(uint64(execs - 1))
 		}
+		t.finishRun(site, hinted)
 		return err
 	}
 }
 
+// finishRun closes a Run: on unhinted Runs the cache learns the footprint
+// the final attempt actually used (so stable sites converge toward
+// prediction and shifted ones re-converge), and the discovery path's pooled
+// shard set is recycled.
+func (t *shardedTx) finishRun(site uintptr, hinted bool) {
+	if !hinted {
+		t.fp.learn(site, t.used)
+	}
+	if t.grown != nil {
+		putFootprint(t.grown)
+		t.grown = nil
+	}
+}
+
+// RunRead delegates to Run through an adapter closure; the caller's own
+// closure identifies the transaction site, or every read-only transaction
+// of the worker would share the adapter's code pointer and conflate its
+// footprint history.
 func (t *shardedTx) RunRead(fn func()) {
+	t.readSite = reflect.ValueOf(fn).Pointer()
 	_ = t.Run(func() error { fn(); return nil })
+	t.readSite = 0
 }
 
 func (t *shardedTx) NoTx(fn func()) {
@@ -590,26 +776,6 @@ func (t *shardedTx) Abort() error {
 		t.aborted = true
 	}
 	return ErrBusinessAbort
-}
-
-// unionShard inserts s into an ascending shard set, returning a new slice.
-func unionShard(set []int, s int) []int {
-	out := make([]int, 0, len(set)+1)
-	placed := false
-	for _, v := range set {
-		if !placed && s < v {
-			out = append(out, s)
-			placed = true
-		}
-		if v == s {
-			placed = true
-		}
-		out = append(out, v)
-	}
-	if !placed {
-		out = append(out, s)
-	}
-	return out
 }
 
 // shardedMap hash-partitions a transactional map across the engine's
@@ -634,7 +800,7 @@ func newShardedMap[V any](e *shardedEngine, spec MapSpec, mk func(Engine, MapSpe
 
 func (m *shardedMap[V]) Get(tx Tx, k uint64) (V, bool) {
 	t := tx.(*shardedTx)
-	s := m.e.shardOf(k)
+	s := t.routeOf(k)
 	bt, release := t.enter(s)
 	v, ok := m.sub[s].Get(bt, k)
 	release()
@@ -643,7 +809,7 @@ func (m *shardedMap[V]) Get(tx Tx, k uint64) (V, bool) {
 
 func (m *shardedMap[V]) Put(tx Tx, k uint64, v V) (V, bool) {
 	t := tx.(*shardedTx)
-	s := m.e.shardOf(k)
+	s := t.routeOf(k)
 	bt, release := t.enter(s)
 	prev, had := m.sub[s].Put(bt, k, v)
 	release()
@@ -652,7 +818,7 @@ func (m *shardedMap[V]) Put(tx Tx, k uint64, v V) (V, bool) {
 
 func (m *shardedMap[V]) Insert(tx Tx, k uint64, v V) bool {
 	t := tx.(*shardedTx)
-	s := m.e.shardOf(k)
+	s := t.routeOf(k)
 	bt, release := t.enter(s)
 	ok := m.sub[s].Insert(bt, k, v)
 	release()
@@ -661,7 +827,7 @@ func (m *shardedMap[V]) Insert(tx Tx, k uint64, v V) bool {
 
 func (m *shardedMap[V]) Remove(tx Tx, k uint64) (V, bool) {
 	t := tx.(*shardedTx)
-	s := m.e.shardOf(k)
+	s := t.routeOf(k)
 	bt, release := t.enter(s)
 	v, ok := m.sub[s].Remove(bt, k)
 	release()

@@ -1,0 +1,173 @@
+package txengine
+
+// Hot-path microbenchmarks for the sharded runtime: key routing, the
+// single-shard commit fast path, cross-shard commits via discovery, hints,
+// and the footprint cache's hit and miss paths. scripts/bench.sh runs the
+// suite and emits BENCH_5.json; CI runs it at -benchtime=1x so the benches
+// always compile and execute.
+
+import (
+	"testing"
+)
+
+const benchShards = 8
+
+func benchEngine(b *testing.B) (*shardedEngine, Map[uint64], Map[uint64], *shardedTx) {
+	b.Helper()
+	eng, err := Build("medley-sharded", Config{Shards: benchShards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(eng.Close)
+	m1, err := eng.NewUintMap(MapSpec{Kind: KindHash, Buckets: 1 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m2, err := eng.NewUintMap(MapSpec{Kind: KindHash, Buckets: 1 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	se := eng.(*shardedEngine)
+	tx := eng.NewWorker(0).(*shardedTx)
+	return se, m1, m2, tx
+}
+
+// BenchmarkShardRouteHash measures the raw hash route (Fibonacci hash +
+// multiply-high range reduction), rotating keys so the handle memo never
+// applies.
+func BenchmarkShardRouteHash(b *testing.B) {
+	se, _, _, _ := benchEngine(b)
+	acc := 0
+	for i := 0; b.N > i; i++ {
+		acc += se.shardOf(uint64(i))
+	}
+	sinkInt = acc
+}
+
+// BenchmarkShardRouteMemo measures the handle-local route memo on a
+// repeated key — the Get-then-Put-same-key pattern inside one transaction.
+func BenchmarkShardRouteMemo(b *testing.B) {
+	_, _, _, tx := benchEngine(b)
+	acc := 0
+	for i := 0; b.N > i; i++ {
+		acc += tx.routeOf(12345)
+	}
+	sinkInt = acc
+}
+
+// BenchmarkSingleShardCommit measures the single-shard transaction fast
+// path: one read-modify-write on one key, committing without any
+// cross-shard machinery.
+func BenchmarkSingleShardCommit(b *testing.B) {
+	_, m1, _, tx := benchEngine(b)
+	m1.Put(tx, 7, 1)
+	b.ResetTimer()
+	for i := 0; b.N > i; i++ {
+		_ = tx.Run(func() error {
+			v, _ := m1.Get(tx, 7)
+			m1.Put(tx, 7, v+1)
+			return nil
+		})
+	}
+}
+
+// BenchmarkCrossShardCommitDiscovery measures the unpredicted cross-shard
+// path: the transaction discovers its second shard by restart every time.
+// Alternating between two key pairs with different footprints keeps the
+// footprint cache below its confidence bar, so no Run is pre-declared.
+func BenchmarkCrossShardCommitDiscovery(b *testing.B) {
+	se, m1, m2, tx := benchEngine(b)
+	keys := distinctShardKeys(b, se, 4, 0)
+	for _, k := range keys {
+		m1.Put(tx, k, 1<<40)
+	}
+	b.ResetTimer()
+	for i := 0; b.N > i; i++ {
+		from, to := keys[0], keys[1]
+		if i&1 == 1 {
+			from, to = keys[2], keys[3]
+		}
+		_ = tx.Run(func() error {
+			v, _ := m1.Get(tx, from)
+			m1.Put(tx, from, v-1)
+			w, _ := m2.Get(tx, to)
+			m2.Put(tx, to, w+1)
+			return nil
+		})
+	}
+}
+
+// BenchmarkCrossShardCommitHinted measures the same cross-shard transaction
+// with both keys pre-declared via HintKeys: locks acquired up front, no
+// discovery restart.
+func BenchmarkCrossShardCommitHinted(b *testing.B) {
+	se, m1, m2, tx := benchEngine(b)
+	keys := distinctShardKeys(b, se, 4, 0)
+	for _, k := range keys {
+		m1.Put(tx, k, 1<<40)
+	}
+	b.ResetTimer()
+	for i := 0; b.N > i; i++ {
+		from, to := keys[0], keys[1]
+		if i&1 == 1 {
+			from, to = keys[2], keys[3]
+		}
+		HintKeys(tx, from, to)
+		_ = tx.Run(func() error {
+			v, _ := m1.Get(tx, from)
+			m1.Put(tx, from, v-1)
+			w, _ := m2.Get(tx, to)
+			m2.Put(tx, to, w+1)
+			return nil
+		})
+	}
+}
+
+// BenchmarkFootprintCacheHit measures a converged site: a stable key pair
+// whose footprint the worker's cache predicts, so every measured Run
+// acquires its shard set up front with no hint and no restart.
+func BenchmarkFootprintCacheHit(b *testing.B) {
+	se, m1, m2, tx := benchEngine(b)
+	keys := distinctShardKeys(b, se, 2, 0)
+	m1.Put(tx, keys[0], 1<<40)
+	body := func() error {
+		v, _ := m1.Get(tx, keys[0])
+		m1.Put(tx, keys[0], v-1)
+		w, _ := m2.Get(tx, keys[1])
+		m2.Put(tx, keys[1], w+1)
+		return nil
+	}
+	for i := 0; i < fpConfident+1; i++ {
+		_ = tx.Run(body) // converge the cache
+	}
+	b.ResetTimer()
+	for i := 0; b.N > i; i++ {
+		_ = tx.Run(body)
+	}
+}
+
+// BenchmarkFootprintCacheMissFallback measures the misprediction fallback:
+// every Run pre-declares a wrong shard set (a stale hint) and pays the
+// full miss path — rollback, restart seeded from the shards actually
+// touched, discovery, commit.
+func BenchmarkFootprintCacheMissFallback(b *testing.B) {
+	se, m1, m2, tx := benchEngine(b)
+	keys := distinctShardKeys(b, se, 4, 0)
+	for _, k := range keys {
+		m1.Put(tx, k, 1<<40)
+	}
+	b.ResetTimer()
+	for i := 0; b.N > i; i++ {
+		HintKeys(tx, keys[0], keys[1]) // stale: the body touches keys[2], keys[3]
+		_ = tx.Run(func() error {
+			v, _ := m1.Get(tx, keys[2])
+			m1.Put(tx, keys[2], v-1)
+			w, _ := m2.Get(tx, keys[3])
+			m2.Put(tx, keys[3], w+1)
+			return nil
+		})
+	}
+}
+
+// sinkInt defeats dead-code elimination in the routing benches.
+var sinkInt int

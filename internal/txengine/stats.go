@@ -23,6 +23,14 @@ import (
 //     nobody aborted anybody — so they are counted separately from Aborts
 //     and Retries; a high rate means the workload is cross-shard-heavy and
 //     paying the discovery cost. Zero on non-sharded engines.
+//   - FootprintHits: Runs whose pre-declared shard set (a HintKeys hint or
+//     a confident footprint-cache entry — see footprint.go) covered every
+//     operation, so the cross-shard locks were acquired up front and no
+//     discovery restart was paid. At most one per Run.
+//   - FootprintMisses: Runs whose pre-declared shard set proved wrong (an
+//     operation escaped it); the Run fell back to the discovery path and
+//     the stale cache entry was invalidated. At most one per Run. Hits and
+//     misses count only pre-declared Runs: plain discovery moves neither.
 //
 // Standalone map operations called outside Run count only on engines that
 // implement them as one-shot transactions (OneFile, TDSL, LFTT); Medley and
@@ -33,6 +41,8 @@ type Stats struct {
 	Retries            uint64
 	Fallbacks          uint64
 	CrossShardRestarts uint64
+	FootprintHits      uint64
+	FootprintMisses    uint64
 }
 
 // Add accumulates o into s.
@@ -42,6 +52,8 @@ func (s *Stats) Add(o Stats) {
 	s.Retries += o.Retries
 	s.Fallbacks += o.Fallbacks
 	s.CrossShardRestarts += o.CrossShardRestarts
+	s.FootprintHits += o.FootprintHits
+	s.FootprintMisses += o.FootprintMisses
 }
 
 // Delta returns the counters accumulated since the prev snapshot.
@@ -52,12 +64,14 @@ func (s Stats) Delta(prev Stats) Stats {
 		Retries:            s.Retries - prev.Retries,
 		Fallbacks:          s.Fallbacks - prev.Fallbacks,
 		CrossShardRestarts: s.CrossShardRestarts - prev.CrossShardRestarts,
+		FootprintHits:      s.FootprintHits - prev.FootprintHits,
+		FootprintMisses:    s.FootprintMisses - prev.FootprintMisses,
 	}
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("commits=%d aborts=%d retries=%d fallbacks=%d xrestarts=%d",
-		s.Commits, s.Aborts, s.Retries, s.Fallbacks, s.CrossShardRestarts)
+	return fmt.Sprintf("commits=%d aborts=%d retries=%d fallbacks=%d xrestarts=%d fphits=%d fpmisses=%d",
+		s.Commits, s.Aborts, s.Retries, s.Fallbacks, s.CrossShardRestarts, s.FootprintHits, s.FootprintMisses)
 }
 
 // counters is the shared engine-level accumulator behind Engine.Stats.
@@ -65,6 +79,7 @@ func (s Stats) String() string {
 type counters struct {
 	commits, aborts, retries, fallbacks atomic.Uint64
 	crossRestarts                       atomic.Uint64
+	fpHits, fpMisses                    atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
@@ -74,6 +89,8 @@ func (c *counters) snapshot() Stats {
 		Retries:            c.retries.Load(),
 		Fallbacks:          c.fallbacks.Load(),
 		CrossShardRestarts: c.crossRestarts.Load(),
+		FootprintHits:      c.fpHits.Load(),
+		FootprintMisses:    c.fpMisses.Load(),
 	}
 }
 

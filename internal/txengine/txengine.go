@@ -40,8 +40,10 @@ package txengine
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"medley/internal/core"
@@ -159,18 +161,45 @@ func (c Config) Validate() error {
 }
 
 // ValidateShardsFlag is the CLIs' shared -shards check: the central
-// Config.Validate rejection, plus a non-fatal warning string for counts far
-// past the host's parallelism — legal, but each shard is a full engine
-// instance, so it is usually a typo.
-func ValidateShardsFlag(shards int) (warning string, err error) {
-	if err := (Config{Shards: shards}).Validate(); err != nil {
-		return "", err
-	}
+// Config.Validate rejection, for failing fast before a measurement sweep.
+// The non-fatal over-parallelism warning is emitted by the registry wrapper
+// when a sharded engine is actually constructed — once per run, however
+// many engine instances a sweep builds.
+func ValidateShardsFlag(shards int) error {
+	return (Config{Shards: shards}).Validate()
+}
+
+// overParallelismWarning is the non-fatal companion to Validate: a shard
+// count far past the host's parallelism is legal, but each shard is a full
+// engine instance (and, for persistent engines, a device), so it is usually
+// a typo. Empty when the count is unremarkable.
+func overParallelismWarning(shards int) string {
 	if max := 4 * runtime.GOMAXPROCS(0); shards > max {
-		warning = fmt.Sprintf("-shards %d is far beyond the host's parallelism (GOMAXPROCS=%d); each shard is a full engine instance",
+		return fmt.Sprintf("shards=%d is far beyond the host's parallelism (GOMAXPROCS=%d); each shard is a full engine instance",
 			shards, runtime.GOMAXPROCS(0))
 	}
-	return warning, nil
+	return ""
+}
+
+// shardsWarned dedupes the over-parallelism warning across engine
+// constructions: benchmark sweeps build one engine per measurement point,
+// and the warning should print once per run per distinct shard count, not
+// once per instantiation.
+var shardsWarned sync.Map
+
+// warnShardsFn emits a construction-time warning line; a test hook.
+var warnShardsFn = func(msg string) { fmt.Fprintln(os.Stderr, "# warning:", msg) }
+
+// maybeWarnShards emits the deduped over-parallelism warning for a sharded
+// builder's construction.
+func maybeWarnShards(cfg Config) {
+	w := overParallelismWarning(cfg.Shards)
+	if w == "" {
+		return
+	}
+	if _, dup := shardsWarned.LoadOrStore(w, true); !dup {
+		warnShardsFn(w)
+	}
 }
 
 // ErrBusinessAbort is the no-retry abort returned by Tx.Abort: Run passes it
@@ -299,6 +328,10 @@ type Builder struct {
 	// (eager per-write persistence); default workload series exclude them,
 	// explicit -systems selection still works.
 	Slow bool
+	// Sharded marks the sharded decorators: engines that actually consume
+	// Config.Shards. Construction of a sharded engine with a shard count far
+	// past the host's parallelism emits the (deduped) registry warning.
+	Sharded bool
 	// New constructs the engine.
 	New func(cfg Config) (Engine, error)
 }
@@ -318,9 +351,13 @@ func Register(b Builder) {
 	}
 	b.Key = key
 	inner := b.New
+	sharded := b.Sharded
 	b.New = func(cfg Config) (Engine, error) {
 		if err := cfg.Validate(); err != nil {
 			return nil, err
+		}
+		if sharded {
+			maybeWarnShards(cfg)
 		}
 		return inner(cfg)
 	}
@@ -381,11 +418,11 @@ func init() {
 	// with a coordinator that advances all shards to mutually consistent
 	// boundaries (see sharded.go). Registered after their bases so Lookup
 	// resolves during construction.
-	Register(Builder{Key: "medley-sharded", Caps: medleyCaps, Doc: "hash-partitioned Medley: per-shard TxManagers, ordered cross-shard commit",
+	Register(Builder{Key: "medley-sharded", Caps: medleyCaps, Sharded: true, Doc: "hash-partitioned Medley: per-shard TxManagers, ordered cross-shard commit",
 		New: func(cfg Config) (Engine, error) { return newShardedEngine("medley", cfg) }})
-	Register(Builder{Key: "txmontage-sharded", Caps: medleyCaps, Doc: "hash-partitioned txMontage: per-shard epoch systems + devices, coordinated epoch advance, merge-on-recover",
+	Register(Builder{Key: "txmontage-sharded", Caps: medleyCaps, Sharded: true, Doc: "hash-partitioned txMontage: per-shard epoch systems + devices, coordinated epoch advance, merge-on-recover",
 		New: func(cfg Config) (Engine, error) { return newShardedEngine("txmontage", cfg) }})
-	Register(Builder{Key: "original-sharded", Caps: originalCaps, Doc: "hash-partitioned untransformed baseline (no transactions)",
+	Register(Builder{Key: "original-sharded", Caps: originalCaps, Sharded: true, Doc: "hash-partitioned untransformed baseline (no transactions)",
 		New: func(cfg Config) (Engine, error) { return newShardedEngine("original", cfg) }})
 }
 

@@ -37,10 +37,21 @@ func runTransfer(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, e
 		return Result{}, err
 	}
 
+	hints := !cfg.NoHints
 	loader := eng.NewWorker(cfg.threads())
 	const chunk = 256
+	var hintKeys []uint64
 	for lo := uint64(0); lo < accounts; lo += chunk {
 		hi := min(lo+chunk, accounts)
+		if hints {
+			// A load chunk's keys are known up front; pre-declare them so
+			// sharded engines lock the chunk's whole shard set first try.
+			hintKeys = hintKeys[:0]
+			for a := lo; a < hi; a++ {
+				hintKeys = append(hintKeys, a)
+			}
+			txengine.HintKeys(loader, hintKeys...)
+		}
 		if err := loader.Run(func() error {
 			for a := lo; a < hi; a++ {
 				checking.Put(loader, a, startBalance)
@@ -58,9 +69,18 @@ func runTransfer(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, e
 	txns, el, lh := drive(cfg.threads(), cfg.dur(), cfg.Latency, func(tid int) func() uint64 {
 		tx := eng.NewWorker(tid)
 		rng := rand.New(rand.NewPCG(cfg.seed(), uint64(tid)+1))
+		var hintKeys [2]uint64 // reused so hinting allocates nothing per txn
 		return func() uint64 {
 			from := rng.Uint64N(accounts)
 			to := rng.Uint64N(accounts)
+			// Both account keys are known before the transaction begins —
+			// the transfer shape's planner hint. On sharded engines the
+			// pre-declared shard set is locked up front, skipping the
+			// footprint-discovery restart; elsewhere HintKeys is a no-op.
+			if hints {
+				hintKeys[0], hintKeys[1] = from, to
+				txengine.HintKeys(tx, hintKeys[:]...)
+			}
 			if rng.IntN(10) == 0 {
 				// Audit: one consistent read of an account pair.
 				tx.RunRead(func() {

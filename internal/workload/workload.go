@@ -65,6 +65,14 @@ type Config struct {
 	// scenario transaction; on some paths (a cache miss's probe + refill)
 	// that comprises more than one engine transaction.
 	Latency bool
+
+	// NoHints disables the footprint hints scenarios pass to sharded
+	// engines (txengine.HintKeys). Hints let a transaction that knows its
+	// keys up front — a transfer knows both accounts — pre-declare its
+	// shard set and skip the cross-shard discovery restart; disabling them
+	// measures the bare discovery path. No-ops on non-sharded engines
+	// either way.
+	NoHints bool
 }
 
 func (c Config) threads() int {

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench.sh — run the sharded-runtime hot-path microbenchmark suite and emit
+# a machine-readable JSON result file (default BENCH_5.json at the repo
+# root), establishing the repository's perf trajectory across PRs.
+#
+# Usage:
+#   scripts/bench.sh [out.json]
+#   BENCHTIME=2s COUNT=3 scripts/bench.sh    # longer, repeated runs
+#
+# The suite lives in internal/txengine/sharded_bench_test.go: key routing,
+# single-shard commit fast path, cross-shard commit via discovery vs hints,
+# and the footprint cache's hit and miss paths.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_5.json}"
+benchtime="${BENCHTIME:-0.5s}"
+count="${COUNT:-1}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench '.' -benchmem -benchtime "$benchtime" -count "$count" \
+  ./internal/txengine/ | tee "$raw"
+
+awk '
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    printf "%s    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", sep, name, $2, $3, $5, $7
+    sep = ",\n"
+  }
+  END {
+    if (sep == "") { print "no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+  }
+' "$raw" > "$raw.results"
+
+{
+  echo '{'
+  echo '  "suite": "internal/txengine sharded-runtime hot-path microbenchmarks",'
+  echo '  "pr": 5,'
+  echo "  \"go\": \"$(go env GOVERSION)\","
+  echo "  \"host_cpus\": $(getconf _NPROCESSORS_ONLN),"
+  echo "  \"benchtime\": \"$benchtime\","
+  echo "  \"count\": $count,"
+  cpu="$(awk '/^cpu:/ { sub(/^cpu: */, ""); print; exit }' "$raw")"
+  echo "  \"cpu\": \"${cpu}\","
+  echo '  "results": ['
+  cat "$raw.results"; echo
+  echo '  ]'
+  echo '}'
+} > "$out"
+rm -f "$raw.results"
+
+echo "wrote $out"
