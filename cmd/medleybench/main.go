@@ -50,11 +50,12 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "keyspace scale (1.0 = paper's 1M keys)")
 	epochLen := flag.Duration("epoch", 10*time.Millisecond, "txMontage epoch length")
 	shards := flag.Int("shards", 0, "shard count for sharded engines (0: engine default); sweep by invoking once per count")
-	zipfS := flag.Float64("zipf", 0, "cache workload: Zipf skew exponent (>1.0; 0: default 1.2)")
+	zipfS := flag.Float64("zipf", 0, "Zipf skew exponent (>1.0; cache default 1.2; transfer: 0 keeps uniform draws)")
 	readPct := flag.Int("readpct", -1, "cache workload: lookup percentage 0-100 (-1: default 90)")
 	accounts := flag.Int("accounts", 0, "transfer workload: account count (0: 1024 scaled); fewer = hotter")
 	lat := flag.Bool("lat", false, "workloads: measure per-transaction latency percentiles (p50/p99 columns)")
 	noHints := flag.Bool("nohints", false, "workloads: disable footprint hints on sharded engines (measure the discovery path)")
+	noLatch := flag.Bool("nolatch", false, "disable key-granular cross-shard latching on sharded engines (whole-shard locks, the pre-latch behavior)")
 	flag.Parse()
 
 	checkShardsFlag(*shards)
@@ -72,7 +73,7 @@ func main() {
 
 	ratios := parseRatios(*ratio)
 	threads := parseThreads(*threadsFlag)
-	opt := bench.Options{Latencies: pnvm.DefaultLatencies(), EpochLen: *epochLen, Shards: *shards}
+	opt := bench.Options{Latencies: pnvm.DefaultLatencies(), EpochLen: *epochLen, Shards: *shards, NoLatch: *noLatch}
 	fmt.Printf("# host: GOMAXPROCS=%d; scale=%.2f; dur=%v\n", runtime.GOMAXPROCS(0), *scale, *dur)
 
 	if *wlFlag != "" {
@@ -96,7 +97,7 @@ func main() {
 		cfg := workload.Config{
 			Dur: *dur, Scale: *scale,
 			Latencies: pnvm.DefaultLatencies(), EpochLen: *epochLen,
-			Shards: *shards, ZipfS: *zipfS, ReadPct: rp,
+			Shards: *shards, NoLatch: *noLatch, ZipfS: *zipfS, ReadPct: rp,
 			Accounts: *accounts, Latency: *lat, NoHints: *noHints,
 		}
 		runWorkloads(*wlFlag, *systemsFlag, threads, cfg)
@@ -138,16 +139,17 @@ func main() {
 		for _, r := range ratios {
 			wl := bench.PaperWorkload(r[0], r[1], r[2], *scale)
 			fmt.Printf("\n## %s, get:insert:remove = %s\n", figName, wl.Ratio())
-			fmt.Printf("%-16s %8s %14s %12s %10s %10s %10s %10s %10s\n", "system", "threads", "txn/s", "commits", "aborts", "retries", "xshard", "fphit", "fpmiss")
+			fmt.Printf("%-16s %8s %14s %12s %10s %10s %10s %10s %10s %10s %10s\n", "system", "threads", "txn/s", "commits", "aborts", "retries", "xshard", "fphit", "fpmiss", "latchw", "latchfb")
 			for _, name := range systems {
 				for _, th := range threads {
 					sys := mustSystem(name, kind, wl, opt)
 					res := bench.RunThroughput(sys, wl, th, *dur)
 					sys.Close()
-					fmt.Printf("%-16s %8d %14.0f %12d %10d %10d %10d %10d %10d\n",
+					fmt.Printf("%-16s %8d %14.0f %12d %10d %10d %10d %10d %10d %10d %10d\n",
 						res.System, res.Threads, res.Throughput,
 						res.Stats.Commits, res.Stats.Aborts, res.Stats.Retries, res.Stats.CrossShardRestarts,
-						res.Stats.FootprintHits, res.Stats.FootprintMisses)
+						res.Stats.FootprintHits, res.Stats.FootprintMisses,
+						res.Stats.LatchWaits, res.Stats.LatchFallbacks)
 				}
 			}
 		}
@@ -284,11 +286,11 @@ func runWorkloads(wlFlag, systemsFlag string, threads []int, cfg workload.Config
 		}
 		fmt.Printf("\n## workload %s (%s)\n", name, sc.Doc)
 		if cfg.Latency {
-			fmt.Printf("%-12s %8s %14s %12s %10s %10s %10s %10s %10s %10s %10s %10s  %s\n",
-				"system", "threads", "txn/s", "commits", "aborts", "retries", "fallbacks", "xshard", "fphit", "fpmiss", "p50", "p99", "audit")
+			fmt.Printf("%-12s %8s %14s %12s %10s %10s %10s %10s %10s %10s %10s %10s %10s %10s  %s\n",
+				"system", "threads", "txn/s", "commits", "aborts", "retries", "fallbacks", "xshard", "fphit", "fpmiss", "latchw", "latchfb", "p50", "p99", "audit")
 		} else {
-			fmt.Printf("%-12s %8s %14s %12s %10s %10s %10s %10s %10s %10s  %s\n",
-				"system", "threads", "txn/s", "commits", "aborts", "retries", "fallbacks", "xshard", "fphit", "fpmiss", "audit")
+			fmt.Printf("%-12s %8s %14s %12s %10s %10s %10s %10s %10s %10s %10s %10s  %s\n",
+				"system", "threads", "txn/s", "commits", "aborts", "retries", "fallbacks", "xshard", "fphit", "fpmiss", "latchw", "latchfb", "audit")
 		}
 		for _, engine := range systems {
 			for _, th := range threads {
@@ -300,16 +302,18 @@ func runWorkloads(wlFlag, systemsFlag string, threads []int, cfg workload.Config
 					os.Exit(2)
 				}
 				if cfg.Latency {
-					fmt.Printf("%-12s %8d %14.0f %12d %10d %10d %10d %10d %10d %10d %10v %10v  %s\n",
+					fmt.Printf("%-12s %8d %14.0f %12d %10d %10d %10d %10d %10d %10d %10d %10d %10v %10v  %s\n",
 						res.System, res.Threads, res.Throughput,
 						res.Stats.Commits, res.Stats.Aborts, res.Stats.Retries, res.Stats.Fallbacks,
 						res.Stats.CrossShardRestarts, res.Stats.FootprintHits, res.Stats.FootprintMisses,
+						res.Stats.LatchWaits, res.Stats.LatchFallbacks,
 						res.P50, res.P99, res.AuxString())
 				} else {
-					fmt.Printf("%-12s %8d %14.0f %12d %10d %10d %10d %10d %10d %10d  %s\n",
+					fmt.Printf("%-12s %8d %14.0f %12d %10d %10d %10d %10d %10d %10d %10d %10d  %s\n",
 						res.System, res.Threads, res.Throughput,
 						res.Stats.Commits, res.Stats.Aborts, res.Stats.Retries, res.Stats.Fallbacks,
 						res.Stats.CrossShardRestarts, res.Stats.FootprintHits, res.Stats.FootprintMisses,
+						res.Stats.LatchWaits, res.Stats.LatchFallbacks,
 						res.AuxString())
 				}
 			}

@@ -50,7 +50,11 @@ type readRec struct {
 // the status is InPrep, which makes concurrent helper access race-free (see
 // package comment).
 type Desc struct {
-	status     atomic.Uint32
+	status atomic.Uint32
+	// group, when non-nil, links this descriptor into a shared-fate
+	// TxGroup: status lives in the group's word and finalization spans
+	// every member (see group.go). Set once, before the first install.
+	group      *TxGroup
 	owner      *Session
 	readSet    []readRec
 	writeSet   []Obj
@@ -73,8 +77,9 @@ func newDesc(owner *Session) *Desc {
 	return d
 }
 
-// Status returns the descriptor's current status.
-func (d *Desc) Status() Status { return Status(d.status.Load()) }
+// Status returns the descriptor's current status (the group's, for a
+// linked descriptor).
+func (d *Desc) Status() Status { return Status(d.statusWord().Load()) }
 
 // AddValidator registers an extra commit-time check evaluated (by the owner
 // or by helpers) together with read-set validation; used by txMontage to
@@ -120,26 +125,30 @@ func (d *Desc) tryFinalize(o Obj, found unsafe.Pointer) {
 	if o.curCell() != found {
 		return // descriptor no longer responsible for this object
 	}
-	st := Status(d.status.Load())
+	// For a linked descriptor the status word, the validation scope, and
+	// the sweep scope are all group-wide: helping one member means
+	// finalizing the whole shared-fate group (see group.go).
+	w := d.statusWord()
+	st := Status(w.Load())
 	sawInProg := st == InProg || st == Committed
 	if st == InPrep {
-		d.status.CompareAndSwap(uint32(InPrep), uint32(Aborted))
-		st = Status(d.status.Load())
+		w.CompareAndSwap(uint32(InPrep), uint32(Aborted))
+		st = Status(w.Load())
 		sawInProg = sawInProg || st == InProg || st == Committed
 	}
 	if st == InProg {
-		if d.validate() {
-			d.status.CompareAndSwap(uint32(InProg), uint32(Committed))
+		if d.validateScope() {
+			w.CompareAndSwap(uint32(InProg), uint32(Committed))
 		} else {
-			d.status.CompareAndSwap(uint32(InProg), uint32(Aborted))
+			w.CompareAndSwap(uint32(InProg), uint32(Aborted))
 		}
-		st = Status(d.status.Load())
+		st = Status(w.Load())
 	}
 	committed := st == Committed
 	if sawInProg {
-		// Write set frozen (owner reached txEnd before finalization):
+		// Write set(s) frozen (owner reached txEnd before finalization):
 		// safe for a helper to sweep everything.
-		d.sweep(committed)
+		d.sweepScope(committed)
 	} else {
 		// Aborted straight from InPrep: the owner may still be appending
 		// to the write set, so only uninstall the cell we tripped over.

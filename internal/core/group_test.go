@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCommitLinkedAtomicAcrossManagers pins the shared-fate happy path: two
+// transactions on two independent TxManagers, linked into one group, commit
+// as a unit and both write sets become visible.
+func TestCommitLinkedAtomicAcrossManagers(t *testing.T) {
+	m1, m2 := NewTxManager(), NewTxManager()
+	s1, s2 := m1.Session(), m2.Session()
+	var a, b CASObj[int]
+	a.Store(1)
+	b.Store(2)
+
+	s1.TxBegin()
+	s2.TxBegin()
+	g := LinkTxs([]*Session{s1, s2})
+	if g == nil {
+		t.Fatal("LinkTxs returned nil")
+	}
+	if !a.NbtcCAS(s1, 1, 10, true, true) {
+		t.Fatal("install on a failed")
+	}
+	if !b.NbtcCAS(s2, 2, 20, true, true) {
+		t.Fatal("install on b failed")
+	}
+	if err := CommitLinked([]*Session{s1, s2}); err != nil {
+		t.Fatalf("CommitLinked: %v", err)
+	}
+	if a.Load() != 10 || b.Load() != 20 {
+		t.Fatalf("a=%d b=%d, want 10 20", a.Load(), b.Load())
+	}
+	if s1.InTx() || s2.InTx() {
+		t.Fatal("session still in tx after CommitLinked")
+	}
+	if a.installedBy() != nil || b.installedBy() != nil {
+		t.Fatal("descriptor left installed after linked commit")
+	}
+}
+
+// TestCommitLinkedValidationAbortsWholeGroup pins the shared fate on the
+// failure side: if any member's read set is invalidated before the group
+// commits, every member's writes roll back — no member may commit alone.
+func TestCommitLinkedValidationAbortsWholeGroup(t *testing.T) {
+	m1, m2 := NewTxManager(), NewTxManager()
+	s1, s2 := m1.Session(), m2.Session()
+	var a, b, c CASObj[int]
+	a.Store(1)
+	b.Store(2)
+	c.Store(3)
+
+	s1.TxBegin()
+	s2.TxBegin()
+	LinkTxs([]*Session{s1, s2})
+	v, tag := c.NbtcLoad(s1)
+	if v != 3 {
+		t.Fatalf("read c=%d, want 3", v)
+	}
+	s1.AddToReadSet(&c, tag)
+	if !a.NbtcCAS(s1, 1, 10, true, true) || !b.NbtcCAS(s2, 2, 20, true, true) {
+		t.Fatal("install failed")
+	}
+	// An outside (non-transactional) writer invalidates s1's read.
+	if !c.NbtcCAS(nil, 3, 4, true, true) {
+		t.Fatal("outside CAS failed")
+	}
+	if err := CommitLinked([]*Session{s1, s2}); !errors.Is(err, ErrTxAborted) {
+		t.Fatalf("CommitLinked = %v, want ErrTxAborted", err)
+	}
+	// s2's write must have rolled back even though only s1's read went stale.
+	if a.Load() != 1 || b.Load() != 2 {
+		t.Fatalf("a=%d b=%d after group abort, want 1 2", a.Load(), b.Load())
+	}
+}
+
+// TestTxAbortOnOneMemberAbortsGroup pins the documented abort discipline:
+// aborting one member aborts the shared status, and the sibling's own
+// TxAbort then rolls back its writes under the same verdict.
+func TestTxAbortOnOneMemberAbortsGroup(t *testing.T) {
+	m1, m2 := NewTxManager(), NewTxManager()
+	s1, s2 := m1.Session(), m2.Session()
+	var a, b CASObj[int]
+	a.Store(1)
+	b.Store(2)
+
+	s1.TxBegin()
+	s2.TxBegin()
+	LinkTxs([]*Session{s1, s2})
+	a.NbtcCAS(s1, 1, 10, true, true)
+	b.NbtcCAS(s2, 2, 20, true, true)
+	if err := s1.TxAbort(); !errors.Is(err, ErrTxAborted) {
+		t.Fatalf("s1.TxAbort = %v", err)
+	}
+	if err := s2.TxAbort(); !errors.Is(err, ErrTxAborted) {
+		t.Fatalf("s2.TxAbort = %v", err)
+	}
+	if a.Load() != 1 || b.Load() != 2 {
+		t.Fatalf("a=%d b=%d after member abort, want 1 2", a.Load(), b.Load())
+	}
+}
+
+// TestLinkTxsGuards pins the misuse panics: linking outside a transaction,
+// linking twice, linking after a speculative install, and TxEnd on a linked
+// member (which must go through CommitLinked).
+func TestLinkTxsGuards(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+
+	m := NewTxManager()
+	s := m.Session()
+	mustPanic("LinkTxs outside tx", func() { LinkTxs([]*Session{s}) })
+
+	s.TxBegin()
+	LinkTxs([]*Session{s})
+	mustPanic("double LinkTxs", func() { LinkTxs([]*Session{s}) })
+	mustPanic("TxEnd on linked tx", func() { _ = s.TxEnd() })
+	_ = s.TxAbort()
+
+	var a CASObj[int]
+	a.Store(1)
+	s.TxBegin()
+	a.NbtcCAS(s, 1, 2, true, true)
+	mustPanic("LinkTxs after install", func() { LinkTxs([]*Session{s}) })
+	_ = s.TxAbort()
+}

@@ -92,6 +92,11 @@ func (s *Session) TxEnd() error {
 	if d == nil {
 		panic("medley: TxEnd outside a transaction")
 	}
+	if d.group != nil {
+		// A linked transaction validates and commits group-wide; committing
+		// one member alone would break the shared fate.
+		panic("medley: TxEnd on a linked transaction; use CommitLinked")
+	}
 	if d.status.CompareAndSwap(uint32(InPrep), uint32(InProg)) {
 		if d.validate() {
 			d.status.CompareAndSwap(uint32(InProg), uint32(Committed))
@@ -110,12 +115,13 @@ func (s *Session) TxAbort() error {
 	if d == nil {
 		panic("medley: TxAbort outside a transaction")
 	}
+	w := d.statusWord() // aborting one linked member aborts the whole group
 	for {
-		st := Status(d.status.Load())
+		st := Status(w.Load())
 		if st == Committed || st == Aborted {
 			break
 		}
-		d.status.CompareAndSwap(uint32(st), uint32(Aborted))
+		w.CompareAndSwap(uint32(st), uint32(Aborted))
 	}
 	err := s.finish(d)
 	if err == nil {
@@ -130,7 +136,7 @@ func (s *Session) TxAbort() error {
 // by a helper): sweeps the write set, runs cleanups or undos, updates stats,
 // and closes the session's transaction scope.
 func (s *Session) finish(d *Desc) error {
-	st := Status(d.status.Load())
+	st := Status(d.statusWord().Load())
 	committed := st == Committed
 	d.sweep(committed)
 	s.desc = nil

@@ -248,4 +248,3 @@ func LiveRecordsAt(recs []pnvm.Record, cut uint64) []RecordView {
 	}
 	return out
 }
-

@@ -37,6 +37,7 @@ func Run(st Store, cfg Config, threads int, dur time.Duration) Result {
 			w := st.NewWorker(tid + 1)
 			rng := rand.New(rand.NewPCG(uint64(tid)+1, 42))
 			var histSeq uint64
+			var keyBuf [4]uint64
 			n := uint64(0)
 			ready.Done()
 			start.Wait()
@@ -45,7 +46,13 @@ func Run(st Store, cfg Config, threads int, dur time.Duration) Result {
 				if rng.IntN(2) == 0 {
 					err = w.RunTx(func(h Handle) error { return NewOrder(h, cfg, rng, tid) })
 				} else {
-					err = w.RunTx(func(h Handle) error { return Payment(h, cfg, rng, tid, &histSeq) })
+					// Payment's keys are known before the transaction, so
+					// draw first and hint them: on sharded engines the
+					// cross-shard ones skip discovery and, with latching
+					// on, commit under key latches instead of whole-shard
+					// locks.
+					a := DrawPayment(cfg, rng, tid, &histSeq)
+					err = w.RunTxHinted(a.Keys(keyBuf[:0]), func(h Handle) error { return PaymentWith(h, a) })
 				}
 				if err == nil {
 					n++

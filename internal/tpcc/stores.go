@@ -20,6 +20,9 @@ type StoreOptions struct {
 	// Shards is the partition count for sharded engines (0: engine
 	// default); non-sharded engines ignore it.
 	Shards int
+	// NoLatch disables key-granular cross-shard latching on sharded
+	// engines (the -nolatch A/B knob); non-sharded engines ignore it.
+	NoLatch bool
 }
 
 // Engines returns the registry keys of every engine that can run TPC-C
@@ -77,6 +80,7 @@ func NewStore(engine string, opt StoreOptions) (Store, error) {
 		EpochLen:  opt.EpochLen,
 		RowCodec:  rowCodec(),
 		Shards:    opt.Shards,
+		NoLatch:   opt.NoLatch,
 	})
 	if err != nil {
 		return nil, err
@@ -130,6 +134,13 @@ func (w *engineWorker) RunTx(fn func(h Handle) error) error {
 		return nil // deliberate rollback: counted as completed work
 	}
 	return err
+}
+
+// RunTxHinted is RunTx with the key footprint declared before the
+// transaction starts; txengine.HintKeys no-ops on engines without hints.
+func (w *engineWorker) RunTxHinted(keys []uint64, fn func(h Handle) error) error {
+	txengine.HintKeys(w.tx, keys...)
+	return w.RunTx(fn)
 }
 
 type engineHandle struct {

@@ -147,6 +147,11 @@ type Handle interface {
 // Worker executes TPC-C transactions for one thread.
 type Worker interface {
 	RunTx(fn func(h Handle) error) error
+	// RunTxHinted is RunTx with the transaction's key footprint declared
+	// up front (payment knows all four of its row keys before it starts).
+	// Engines without footprint hints ignore the keys, so drivers can call
+	// it unconditionally.
+	RunTxHinted(keys []uint64, fn func(h Handle) error) error
 }
 
 // Store is one system under test.
@@ -278,45 +283,81 @@ func NewOrder(h Handle, cfg Config, rng *rand.Rand, tid int) error {
 	return nil
 }
 
-// Payment runs one payment transaction on h. seq supplies a unique history
-// key sequence per worker.
-func Payment(h Handle, cfg Config, rng *rand.Rand, tid int, seq *uint64) error {
-	w := rng.IntN(cfg.Warehouses)
-	d := rng.IntN(cfg.DistPerWh)
-	c := rng.IntN(cfg.CustPerDist)
-	amount := uint64(100 + rng.IntN(4900))
+// PaymentArgs are one payment transaction's pre-drawn inputs. Unlike
+// newOrder — which draws its items inside the body and so can only be
+// discovered — payment's whole key set (warehouse, district, customer,
+// history) is fixed by these draws before the transaction starts, which is
+// what lets the driver hint it to sharded engines.
+type PaymentArgs struct {
+	W, D, C int
+	// CW, CD are the customer's warehouse/district (15% remote).
+	CW, CD  int
+	Amount  uint64
+	HistKey uint64
+}
 
-	wv, ok := h.Get(TWarehouse, WKey(w))
+// DrawPayment samples one payment's inputs and advances the per-worker
+// history sequence. The draws match Payment's: uniform warehouse, district
+// and customer; 15% remote customer when multiple warehouses exist.
+func DrawPayment(cfg Config, rng *rand.Rand, tid int, seq *uint64) PaymentArgs {
+	a := PaymentArgs{
+		W:      rng.IntN(cfg.Warehouses),
+		D:      rng.IntN(cfg.DistPerWh),
+		C:      rng.IntN(cfg.CustPerDist),
+		Amount: uint64(100 + rng.IntN(4900)),
+	}
+	a.CW, a.CD = a.W, a.D
+	if cfg.Warehouses > 1 && rng.IntN(100) < 15 {
+		a.CW = rng.IntN(cfg.Warehouses)
+		a.CD = rng.IntN(cfg.DistPerWh)
+	}
+	*seq++
+	a.HistKey = HKey(tid, *seq)
+	return a
+}
+
+// Keys appends the four row keys the payment will touch to dst. Keys from
+// different tables can collide numerically; for footprint purposes that is
+// benign — shard routing is table-independent, and a latch collision only
+// over-serializes.
+func (a PaymentArgs) Keys(dst []uint64) []uint64 {
+	return append(dst, WKey(a.W), DKey(a.W, a.D), CKey(a.CW, a.CD, a.C), a.HistKey)
+}
+
+// Payment runs one payment transaction on h, drawing its inputs inline.
+// seq supplies a unique history key sequence per worker. The driver's
+// measured loop instead draws via DrawPayment and hints the keys; this
+// wrapper keeps the draw-inside shape for tests and unhinted callers.
+func Payment(h Handle, cfg Config, rng *rand.Rand, tid int, seq *uint64) error {
+	return PaymentWith(h, DrawPayment(cfg, rng, tid, seq))
+}
+
+// PaymentWith runs one payment transaction on h with pre-drawn inputs.
+func PaymentWith(h Handle, a PaymentArgs) error {
+	wv, ok := h.Get(TWarehouse, WKey(a.W))
 	if !ok {
 		return errors.New("tpcc: missing warehouse")
 	}
 	wh := wv.(*Warehouse)
-	h.Put(TWarehouse, WKey(w), &Warehouse{YTD: wh.YTD + amount, Tax: wh.Tax})
+	h.Put(TWarehouse, WKey(a.W), &Warehouse{YTD: wh.YTD + a.Amount, Tax: wh.Tax})
 
-	dv, ok := h.Get(TDistrict, DKey(w, d))
+	dv, ok := h.Get(TDistrict, DKey(a.W, a.D))
 	if !ok {
 		return errors.New("tpcc: missing district")
 	}
 	dist := dv.(*District)
-	h.Put(TDistrict, DKey(w, d), &District{NextOID: dist.NextOID, YTD: dist.YTD + amount, Tax: dist.Tax})
+	h.Put(TDistrict, DKey(a.W, a.D), &District{NextOID: dist.NextOID, YTD: dist.YTD + a.Amount, Tax: dist.Tax})
 
-	// 15% of payments are for a customer of a remote warehouse/district.
-	cw, cd := w, d
-	if cfg.Warehouses > 1 && rng.IntN(100) < 15 {
-		cw = rng.IntN(cfg.Warehouses)
-		cd = rng.IntN(cfg.DistPerWh)
-	}
-	cv, ok := h.Get(TCustomer, CKey(cw, cd, c))
+	cv, ok := h.Get(TCustomer, CKey(a.CW, a.CD, a.C))
 	if !ok {
 		return errors.New("tpcc: missing customer")
 	}
 	cust := cv.(*Customer)
-	h.Put(TCustomer, CKey(cw, cd, c), &Customer{
-		Balance:    cust.Balance - int64(amount),
-		YTDPayment: cust.YTDPayment + amount,
+	h.Put(TCustomer, CKey(a.CW, a.CD, a.C), &Customer{
+		Balance:    cust.Balance - int64(a.Amount),
+		YTDPayment: cust.YTDPayment + a.Amount,
 		PaymentCnt: cust.PaymentCnt + 1,
 	})
-	*seq++
-	h.Insert(THistory, HKey(tid, *seq), &History{Amount: amount})
+	h.Insert(THistory, a.HistKey, &History{Amount: a.Amount})
 	return nil
 }

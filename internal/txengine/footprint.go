@@ -46,10 +46,31 @@ import (
 // KeyHinter is the optional Tx extension of footprint-predicting (sharded)
 // engines: HintKeys pre-declares map keys the worker's next Run will touch,
 // so the transaction can acquire its whole shard set up front instead of
-// discovering it by restart. Hints are consumed by the next Run and apply to
-// all of its attempts; hinting inside Run is a no-op.
+// discovering it by restart — and, on latch-enabled engines, latch exactly
+// those keys instead of locking whole shards (see latch.go). The keys are
+// sorted and deduplicated once, at declaration time. Successive HintKeys /
+// HintQueues calls before a Run accumulate into one declaration; the next
+// Run consumes it whole and applies it to all of its attempts. Hinting
+// inside Run is a no-op.
 type KeyHinter interface {
 	HintKeys(keys ...uint64)
+}
+
+// QueueHinter is the queue-side companion of KeyHinter: HintQueues
+// pre-declares transactional queues the worker's next Run will touch, so a
+// latched cross-shard attempt covers the queue's home shard and serializes
+// same-queue traffic through the queue's synthetic latch key rather than
+// falling back to whole-shard locks.
+type QueueHinter interface {
+	HintQueues(qs ...Queue[uint64])
+}
+
+// HintQueues forwards a queue footprint hint to tx when its engine supports
+// hints; elsewhere it is a no-op, like HintKeys.
+func HintQueues(tx Tx, qs ...Queue[uint64]) {
+	if h, ok := tx.(QueueHinter); ok {
+		h.HintQueues(qs...)
+	}
 }
 
 // HintKeys forwards a footprint hint to tx when its engine supports hints
@@ -73,10 +94,17 @@ func HintKeys(tx Tx, keys ...uint64) {
 // genuinely stable site still converges within its first few iterations.
 const fpConfident = 3
 
-// fpEntry is one transaction site's learned footprint.
+// fpEntry is one transaction site's learned footprint: the shard set, and —
+// when the site's key set is stable and small enough to latch — the latch
+// key set. Key confidence is tracked separately from shard confidence: a
+// site can have a rock-stable shard pair under rotating keys (uniform
+// transfer at two shards), in which case shard prediction fires but the
+// attempt falls back to whole-shard locks rather than latching stale keys.
 type fpEntry struct {
-	want []int // last observed multi-shard footprint, ascending
-	conf uint8 // consecutive identical observations (saturating)
+	want  []int    // last observed multi-shard footprint, ascending
+	keys  []uint64 // last observed latch key set, ascending, ≤ latchMaxKeys
+	conf  uint8    // consecutive identical shard-set observations (saturating)
+	kconf uint8    // consecutive identical key-set observations (saturating)
 }
 
 // fpCache is the per-worker footprint cache: transaction site → learned
@@ -102,21 +130,29 @@ func (c *fpCache) entry(site uintptr) *fpEntry {
 	return e
 }
 
-// predict returns the shard set to pre-declare for a Run at site, or nil
-// when the site has no confident multi-shard footprint. The returned slice
-// is entry-owned: callers must not mutate or recycle it.
-func (c *fpCache) predict(site uintptr) []int {
+// predict returns the shard set to pre-declare for a Run at site (nil when
+// the site has no confident multi-shard footprint) and, when the site's key
+// set is independently confident, the latch key set to acquire instead of
+// whole-shard locks. Both returned slices are entry-owned: callers must not
+// mutate or recycle them.
+func (c *fpCache) predict(site uintptr) ([]int, []uint64) {
 	if e := c.entry(site); e != nil && e.conf >= fpConfident {
-		return e.want
+		if e.kconf >= fpConfident {
+			return e.want, e.keys
+		}
+		return e.want, nil
 	}
-	return nil
+	return nil, nil
 }
 
-// learn records the footprint a Run at site actually used. Multi-shard
-// footprints build confidence when stable and reset it when they change;
-// single-shard Runs decay confidence, so a site that stops crossing shards
-// stops being predicted.
-func (c *fpCache) learn(site uintptr, fp []int) {
+// learn records the footprint a Run at site actually used: the shard set fp
+// and the distinct keys the final attempt touched (keyOverflow set when the
+// attempt touched more than latchMaxKeys keys, which disqualifies the site
+// from key prediction). Multi-shard footprints build confidence when stable
+// and reset it when they change; single-shard Runs decay confidence, so a
+// site that stops crossing shards stops being predicted. The keys slice is
+// caller-owned scratch; the entry keeps its own copy in place.
+func (c *fpCache) learn(site uintptr, fp []int, keys []uint64, keyOverflow bool) {
 	if len(fp) <= 1 {
 		if e := c.entry(site); e != nil && e.conf > 0 {
 			e.conf--
@@ -136,10 +172,25 @@ func (c *fpCache) learn(site uintptr, fp []int) {
 		if e.conf < 250 {
 			e.conf++
 		}
+	} else {
+		e.want = slices.Clone(fp)
+		e.conf = 1
+	}
+	if keyOverflow {
+		e.keys, e.kconf = e.keys[:0], 0
 		return
 	}
-	e.want = slices.Clone(fp)
-	e.conf = 1
+	if slices.Equal(e.keys, keys) {
+		if e.kconf < 250 {
+			e.kconf++
+		}
+		return
+	}
+	// Entry storage is reused in place, so a site whose keys rotate every
+	// Run (which never reaches key confidence) costs one allocation total,
+	// not one per Run.
+	e.keys = append(e.keys[:0], keys...)
+	e.kconf = 1
 }
 
 // miss invalidates site's prediction after a mispredicted attempt: the key
@@ -147,7 +198,7 @@ func (c *fpCache) learn(site uintptr, fp []int) {
 // predicting again.
 func (c *fpCache) miss(site uintptr) {
 	if e := c.entry(site); e != nil {
-		e.conf = 0
+		e.conf, e.kconf = 0, 0
 	}
 }
 

@@ -184,6 +184,11 @@ func (t *sessionTx) abortManual() {
 	}
 }
 
+// coreSession implements the sharded decorator's sessionProvider seam: the
+// underlying core session, through which the latched cross-shard path links
+// per-shard sub-transactions into one shared-fate core.TxGroup.
+func (t *sessionTx) coreSession() *core.Session { return t.s }
+
 // pinnedEpoch implements the sharded decorator's epochPinned seam: the
 // epoch the open manual transaction is pinned to, or 0 on transient bases.
 // The cross-shard commit coordinator compares it across shards to guarantee

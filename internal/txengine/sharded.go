@@ -21,16 +21,34 @@ import (
 // map key to its owning shard. Single-shard transactions run entirely on
 // that shard's optimistic machinery, under the shard's read lock, so they
 // scale with the shard count instead of funneling through one manager.
-// Cross-shard transactions acquire the involved shards' locks exclusively,
-// in ascending shard order; the shard set comes from footprint prediction —
-// a HintKeys pre-declaration or the worker's site-keyed footprint cache
-// (see footprint.go) — or, when neither applies, from optimistic discovery
-// (an op touching a shard outside the known set restarts the attempt with
-// the union). Exclusivity makes every per-shard
+// Cross-shard transactions come in two grades. When the footprint layer
+// knows the transaction's keys — a HintKeys/HintQueues pre-declaration or a
+// key-confident footprint-cache entry (see footprint.go) — the attempt runs
+// *latched*: it takes only the involved shards' read locks (ascending), then
+// latches exactly its declared keys in global key order (latch.go), links
+// the per-shard sub-transactions into one shared-fate core.TxGroup, and
+// commits them with a single atomic verdict (core.CommitLinked) under the
+// epoch commit guard — no shard is ever held exclusively, so disjoint-key
+// cross-shard transactions on the same hot shard proceed in parallel. The
+// latches serialize latched transactions with overlapping declarations
+// (FIFO, no abort churn); atomicity does not depend on them — the TxGroup's
+// one status word is what makes the multi-shard commit all-or-nothing even
+// though concurrent single-shard traffic can invalidate reads at any time.
+//
+// When the keys are not known — discovery mode, a misprediction retrying,
+// or an oversized key set — the attempt falls back to the original path:
+// the involved shards' locks are taken exclusively, in ascending shard
+// order, with the shard set coming from shard-level prediction or from
+// optimistic discovery (an op touching a shard outside the known set
+// restarts the attempt with the union). Exclusivity makes every per-shard
 // sub-commit deterministic — no concurrent activity can invalidate a locked
 // shard's read set — so the ordered commit sequence is failure-free and the
 // composition audits (cross-map transfer conservation, queue+map claim
-// integrity) hold exactly as they do on an unsharded engine.
+// integrity) hold exactly as they do on an unsharded engine. Latched
+// attempts hold those shards' read locks, so they are excluded by a
+// discovery writer like all other traffic and the exclusivity argument
+// survives the new mode. Config.NoLatch restores this path for every
+// cross-shard transaction (the -nolatch A/B knob).
 //
 // The decorator needs one thing beyond the public Engine contract: explicit
 // transaction control on base worker handles (manualTx), so that one
@@ -85,6 +103,7 @@ type shardedEngine struct {
 	shards []*shardSlot
 	nextQ  atomic.Uint64 // round-robin home-shard assignment for queues
 	ct     counters
+	latch  *latchTable // key-granular cross-shard latches; nil when disabled
 
 	// Persistence coordination (nil/empty when the base is transient): the
 	// shared epoch clock, each shard's epoch system and device in shard
@@ -104,6 +123,12 @@ type epochSysProvider interface{ EpochSys() *montage.EpochSys }
 // epoch the handle's open manual transaction is pinned to (0 on transient
 // bases). See shardedTx.commit.
 type epochPinned interface{ pinnedEpoch() uint64 }
+
+// sessionProvider is the worker-handle seam of the latched cross-shard
+// path: the base handle's core session, through which per-shard
+// sub-transactions are linked into one shared-fate core.TxGroup. Bases
+// without it (none today) simply never run latched.
+type sessionProvider interface{ coreSession() *core.Session }
 
 // newShardedEngine builds cfg.Shards independent instances of the named
 // base engine behind one sharded façade. Persistent (montage-backed) bases
@@ -145,6 +170,9 @@ func newShardedEngine(baseKey string, cfg Config) (Engine, error) {
 		e.shards = append(e.shards, &shardSlot{eng: shard})
 	}
 	e.name = fmt.Sprintf("%s-sh%d", e.shards[0].eng.Name(), n)
+	if e.txCap && !cfg.NoLatch {
+		e.latch = newLatchTable()
+	}
 
 	// Detect montage-backed shards: all of them share clock, so the engine
 	// coordinates their epochs and implements the multi-device Persister.
@@ -315,19 +343,28 @@ func (e *shardedEngine) NewUintQueue() (Queue[uint64], error) {
 	if !e.caps.Has(CapQueue) {
 		return nil, ErrUnsupported
 	}
-	home := int(e.nextQ.Add(1)-1) % len(e.shards)
+	qid := e.nextQ.Add(1) - 1
+	home := int(qid) % len(e.shards)
 	q, err := e.shards[home].eng.NewUintQueue()
 	if err != nil {
 		return nil, err
 	}
-	return &shardedQueue{e: e, home: home, q: q}, nil
+	// The queue's latch key is synthesized from the top of the key space,
+	// where real workload keys are vanishingly rare; a collision with a map
+	// key is benign — the two just over-serialize through one latch.
+	return &shardedQueue{e: e, home: home, lkey: ^uint64(0) - qid, q: q}, nil
 }
 
 func (e *shardedEngine) NewWorker(tid int) Tx {
 	n := len(e.shards)
-	return &shardedTx{e: e, tid: tid,
+	t := &shardedTx{e: e, tid: tid,
 		base: make([]Tx, n), man: make([]manualTx, n), pin: make([]epochPinned, n),
+		ses: make([]*core.Session, n),
 		cur: -1}
+	if e.latch != nil {
+		t.lw = newLatchWaiter()
+	}
+	return t
 }
 
 // growRestart is the control-flow sentinel thrown when an attempt touches a
@@ -345,28 +382,46 @@ const routeMemoSize = 8
 type shardedTx struct {
 	e    *shardedEngine
 	tid  int
-	base []Tx           // per-shard base handles, created on first touch
-	man  []manualTx     // cached manual-transaction seam per handle
-	pin  []epochPinned  // cached epoch seam per handle (nil where absent)
+	base []Tx            // per-shard base handles, created on first touch
+	man  []manualTx      // cached manual-transaction seam per handle
+	pin  []epochPinned   // cached epoch seam per handle (nil where absent)
+	ses  []*core.Session // cached core-session seam per handle (nil where absent)
 
 	inRun     bool
-	cross     bool  // attempt holds exclusive locks on want
-	predicted bool  // attempt's want was pre-declared (hint or cache)
-	locksHeld bool  // cross-mode locks currently held
-	want      []int // cross mode: ascending shard set to lock
-	used      []int // shards the attempt's ops actually entered, ascending
-	begun     []int // shards with an open base sub-transaction
-	cur       int   // single-shard mode: the shard in use, -1 if none yet
+	cross     bool   // attempt holds locks on want (exclusive unless latched)
+	predicted bool   // attempt's want was pre-declared (hint or cache)
+	locksHeld bool   // cross-mode locks currently held
+	want      []int  // cross mode: ascending shard set to lock
+	used      []int  // shards the attempt's ops actually entered, ascending
+	begun     []int  // shards with an open base sub-transaction
+	cur       int    // single-shard mode: the shard in use, -1 if none yet
 	aborted   bool   // Tx.Abort doomed the current Run
 	grown     *[]int // pooled holder backing the current attempt's grown want
 	grownNext *[]int // pooled holder staged by growTo, adopted by Run
 	one       [1]int // scratch for growTo's single-shard source set
 
-	hintPending bool    // a HintKeys declaration awaits the next Run
-	hint        []int   // the declared shard set; nil when it was single-shard
-	hintBuf     []int   // backing storage for hint, reused across hints
-	readSite    uintptr // RunRead's real site, threaded past its adapter closure
-	fp          fpCache
+	// Latched-mode state (see latch.go). latchKeys is the current Run's
+	// declared latch key set — ascending, deduplicated, entry- or
+	// hint-owned — nil when the Run falls back to whole-shard locks.
+	// usedKeys accumulates the distinct keys an unhinted attempt touches so
+	// the footprint cache can learn key sets; it is a reused buffer capped
+	// at latchMaxKeys (keyOverflow disqualifies the site).
+	latched     bool // current attempt holds key latches, not shard writes
+	latchHeld   bool // latchKeys currently acquired
+	latchKeys   []uint64
+	trackKeys   bool // record touched keys into usedKeys this Run
+	keyOverflow bool
+	usedKeys    []uint64
+	sesBuf      []*core.Session // want's sessions, for LinkTxs/CommitLinked
+	lw          latchWaiter     // reusable wait token (one wait at a time)
+
+	hintPending  bool     // a HintKeys/HintQueues declaration awaits the next Run
+	hint         []int    // the declared shard set; nil when it was single-shard
+	hintBuf      []int    // backing storage for hint, reused across hints
+	hintKeys     []uint64 // declared latch keys, ascending; reused like hintBuf
+	hintOverflow bool     // declaration exceeded latchMaxKeys: don't latch
+	readSite     uintptr  // RunRead's real site, threaded past its adapter closure
+	fp           fpCache
 
 	// Direct-mapped key→shard memo: repeated keys (Get then Put inside one
 	// transaction, hot keys across iterations) skip the hash. memoS stores
@@ -392,8 +447,24 @@ func (t *shardedTx) handle(s int) Tx {
 		if p, ok := h.(epochPinned); ok {
 			t.pin[s] = p
 		}
+		if sp, ok := h.(sessionProvider); ok {
+			t.ses[s] = sp.coreSession()
+		}
 	}
 	return h
+}
+
+// groupable reports whether every shard in want exposes the core-session
+// seam the shared-fate (latched) commit needs. Handles are created eagerly
+// here, so after a worker's first cross-shard Run this is a few nil checks.
+func (t *shardedTx) groupable(want []int) bool {
+	for _, s := range want {
+		t.handle(s)
+		if t.ses[s] == nil {
+			return false
+		}
+	}
+	return true
 }
 
 func (t *shardedTx) manual(s int) manualTx {
@@ -408,8 +479,13 @@ func (t *shardedTx) manual(s int) manualTx {
 	return m
 }
 
-// routeOf is shardOf through the handle's memo.
+// routeOf is shardOf through the handle's memo. While a learning Run is in
+// flight it also records the key into the attempt's used-key set, so the
+// footprint cache can learn latchable key sets alongside shard sets.
 func (t *shardedTx) routeOf(k uint64) int {
+	if t.trackKeys && t.inRun {
+		t.noteKey(k)
+	}
 	i := k & (routeMemoSize - 1)
 	if t.memoK[i] == k && t.memoS[i] != 0 {
 		return int(t.memoS[i]) - 1
@@ -419,25 +495,96 @@ func (t *shardedTx) routeOf(k uint64) int {
 	return s
 }
 
+// noteKey records one distinct touched key, capped at latchMaxKeys; past
+// the cap the attempt's key set is unlatchable and tracking stops.
+func (t *shardedTx) noteKey(k uint64) {
+	if t.keyOverflow {
+		return
+	}
+	t.usedKeys = insertKey(t.usedKeys, k)
+	if len(t.usedKeys) > latchMaxKeys {
+		t.keyOverflow = true
+		t.usedKeys = t.usedKeys[:0]
+	}
+}
+
+// hintOpen starts or continues the pending declaration: the first
+// HintKeys/HintQueues call after a Run resets the accumulated sets, later
+// calls merge into them.
+func (t *shardedTx) hintOpen() {
+	if t.hintPending {
+		return
+	}
+	t.hintPending = true
+	t.hintBuf = t.hintBuf[:0]
+	t.hintKeys = t.hintKeys[:0]
+	t.hintOverflow = false
+}
+
+// hintKey merges one latch key into the pending declaration (sorted,
+// deduplicated — done once here, at declaration time, not per attempt).
+// Declarations beyond latchMaxKeys stay valid as shard pre-declarations but
+// give up on latching: whole-shard locks beat hundreds of latch handoffs.
+func (t *shardedTx) hintKey(k uint64) {
+	if t.hintOverflow {
+		return
+	}
+	t.hintKeys = insertKey(t.hintKeys, k)
+	if len(t.hintKeys) > latchMaxKeys {
+		t.hintOverflow = true
+		t.hintKeys = t.hintKeys[:0]
+	}
+}
+
+// hintClose re-derives the pending declaration's shard pre-set after a
+// merge. Sets of one shard pre-declare nothing — the single-shard path
+// needs none — but the hint still marks the next Run as hinted, so it
+// trusts the declaration over any cached footprint.
+func (t *shardedTx) hintClose() {
+	if len(t.hintBuf) > 1 {
+		t.hint = t.hintBuf
+	} else {
+		t.hint = nil
+	}
+}
+
 // HintKeys implements KeyHinter: route the declared keys and stage their
-// shard set for the next Run. Sets of one shard pre-declare nothing — the
-// single-shard path needs none — but the hint still marks the next Run as
-// hinted, so it trusts the declaration over any cached footprint.
+// shard set (and, for latch-enabled engines, the keys themselves) for the
+// next Run. Successive HintKeys/HintQueues calls accumulate until a Run
+// consumes them.
 func (t *shardedTx) HintKeys(keys ...uint64) {
 	if t.inRun {
 		return
 	}
-	h := t.hintBuf[:0]
+	t.hintOpen()
+	h := t.hintBuf
 	for _, k := range keys {
 		h = insertShard(h, t.routeOf(k))
+		t.hintKey(k)
 	}
 	t.hintBuf = h
-	t.hintPending = true
-	if len(h) > 1 {
-		t.hint = h
-	} else {
-		t.hint = nil
+	t.hintClose()
+}
+
+// HintQueues implements QueueHinter: declare the queues' home shards and
+// synthetic latch keys for the next Run, so queue+map transactions can run
+// latched with same-queue traffic serialized through the queue latch.
+func (t *shardedTx) HintQueues(qs ...Queue[uint64]) {
+	if t.inRun {
+		return
 	}
+	t.hintOpen()
+	h := t.hintBuf
+	for _, q := range qs {
+		sq, ok := q.(*shardedQueue)
+		if !ok || sq.e != t.e {
+			continue // foreign queue: nothing of ours to declare
+		}
+		h = insertShard(h, sq.home)
+		t.hintKey(sq.lkey)
+	}
+	t.hintBuf = h
+	t.hintClose()
 }
 
 var noRelease = func() {}
@@ -507,12 +654,24 @@ func (t *shardedTx) growTo(s int) []int {
 	return *np
 }
 
-// unlock releases whatever locks the current attempt holds. Idempotent.
+// unlock releases whatever locks the current attempt holds — key latches
+// first, then the shard locks (read side for latched attempts, write side
+// otherwise). Idempotent.
 func (t *shardedTx) unlock() {
 	if t.cross {
+		if t.latchHeld {
+			t.e.latch.releaseAll(t.latchKeys)
+			t.latchHeld = false
+		}
 		if t.locksHeld {
-			for _, s := range t.want {
-				t.e.shards[s].mu.Unlock()
+			if t.latched {
+				for _, s := range t.want {
+					t.e.shards[s].mu.RUnlock()
+				}
+			} else {
+				for _, s := range t.want {
+					t.e.shards[s].mu.Unlock()
+				}
 			}
 			t.locksHeld = false
 		}
@@ -565,6 +724,9 @@ func (t *shardedTx) commit() error {
 		t.cur = -1
 		return err
 	}
+	if t.latched {
+		return t.commitLatched()
+	}
 	defer t.unlock()
 	if t.e.clock != nil && len(t.begun) > 0 {
 		cur, release := t.e.clock.GuardCommit()
@@ -606,6 +768,35 @@ func (t *shardedTx) commit() error {
 	return nil
 }
 
+// commitLatched finalizes a latched cross-shard attempt. The per-shard
+// sub-transactions were linked into one shared-fate core.TxGroup at begin
+// time, so the commit is a single atomic verdict — core.CommitLinked
+// validates every member and flips one status word — and a torn commit is
+// impossible by construction, even though the attempt holds no shard
+// exclusively and concurrent traffic may invalidate its reads up to the
+// very last moment (that just aborts the whole group, which retries).
+//
+// The epoch discipline matches the exclusive path: the shared clock's
+// commit guard blocks advancement across the verdict, and the pinned-epoch
+// pre-check aborts cleanly if the sub-transactions already straddle two
+// cuts — so a latched commit, too, lands in one epoch cut on every shard.
+func (t *shardedTx) commitLatched() error {
+	defer t.unlock()
+	if t.e.clock != nil && len(t.begun) > 0 {
+		cur, release := t.e.clock.GuardCommit()
+		defer release()
+		for _, s := range t.begun {
+			ep := t.pin[s]
+			if ep != nil && ep.pinnedEpoch() != cur {
+				t.rollback()
+				return core.ErrTxAborted
+			}
+		}
+	}
+	t.begun = t.begun[:0]
+	return core.CommitLinked(t.sesBuf)
+}
+
 // attempt executes fn once. A non-nil grew return means the attempt's shard
 // footprint exceeded its lock set: retry with that set. err is nil on
 // commit, core.ErrTxAborted on conflict, and fn's own error otherwise.
@@ -615,16 +806,47 @@ func (t *shardedTx) attempt(fn func() error, want []int) (err error, grew []int)
 	t.cur = -1
 	t.begun = t.begun[:0]
 	t.used = t.used[:0]
+	t.usedKeys = t.usedKeys[:0]
+	t.keyOverflow = false
 	t.cross = want != nil
 	t.want = want
+	t.latched = false
 	if t.cross {
-		for _, s := range want { // ascending: deadlock-free
-			t.e.shards[s].mu.Lock()
-		}
-		t.locksHeld = true
-		for _, s := range want {
-			t.manual(s).beginManual()
-			t.begun = append(t.begun, s)
+		if t.latchKeys != nil {
+			// Latched: shard read locks first (ascending), key latches
+			// second (ascending). The order matters for deadlock freedom —
+			// a latch holder must never block behind a shard writer, and
+			// read-lock waiters (stalled by a pending discovery writer) must
+			// hold no latches. Holding the read side keeps the discovery
+			// path's exclusivity assumption intact.
+			t.latched = true
+			for _, s := range want {
+				t.e.shards[s].mu.RLock()
+			}
+			t.locksHeld = true
+			if w := t.e.latch.acquireAll(t.latchKeys, &t.lw); w > 0 {
+				t.e.ct.latchWaits.Add(uint64(w))
+			}
+			t.latchHeld = true
+			t.sesBuf = t.sesBuf[:0]
+			for _, s := range want {
+				t.manual(s).beginManual()
+				t.begun = append(t.begun, s)
+				t.sesBuf = append(t.sesBuf, t.ses[s])
+			}
+			core.LinkTxs(t.sesBuf)
+		} else {
+			if t.e.latch != nil {
+				t.e.ct.latchFallbacks.Add(1)
+			}
+			for _, s := range want { // ascending: deadlock-free
+				t.e.shards[s].mu.Lock()
+			}
+			t.locksHeld = true
+			for _, s := range want {
+				t.manual(s).beginManual()
+				t.begun = append(t.begun, s)
+			}
 		}
 	}
 	defer func() {
@@ -671,6 +893,7 @@ func (t *shardedTx) Run(fn func() error) error {
 	}
 	var site uintptr
 	var want []int
+	var latchKeys []uint64
 	hinted := t.hintPending
 	if hinted {
 		// A hint is authoritative: the workload declared its keys, so the
@@ -678,12 +901,23 @@ func (t *shardedTx) Run(fn func() error) error {
 		// skipped altogether on this hot path).
 		t.hintPending = false
 		want, t.hint = t.hint, nil
+		if want != nil && t.e.latch != nil && !t.hintOverflow && len(t.hintKeys) > 0 {
+			latchKeys = t.hintKeys
+		}
 	} else {
 		if site = t.readSite; site == 0 {
 			site = runSite(fn)
 		}
-		want = t.fp.predict(site)
+		want, latchKeys = t.fp.predict(site)
+		if t.e.latch == nil {
+			latchKeys = nil
+		}
 	}
+	if len(latchKeys) == 0 || (latchKeys != nil && !t.groupable(want)) {
+		latchKeys = nil // nothing to latch, or base can't shared-fate commit
+	}
+	t.latchKeys = latchKeys
+	t.trackKeys = t.e.latch != nil && !hinted
 	predicted := want != nil
 	execs := 0
 	for attempt := 0; ; attempt++ {
@@ -705,6 +939,9 @@ func (t *shardedTx) Run(fn func() error) error {
 				}
 				predicted = false
 			}
+			// A mispredicted key set is as stale as the shard set it rode
+			// on: the retry discovers under whole-shard locks.
+			t.latchKeys = nil
 			want = grew
 			continue // footprint restart: no backoff, nobody conflicted
 		}
@@ -738,13 +975,15 @@ func (t *shardedTx) Run(fn func() error) error {
 }
 
 // finishRun closes a Run: on unhinted Runs the cache learns the footprint
-// the final attempt actually used (so stable sites converge toward
-// prediction and shifted ones re-converge), and the discovery path's pooled
-// shard set is recycled.
+// the final attempt actually used — shard set and key set both, so stable
+// sites converge toward (latched) prediction and shifted ones re-converge —
+// and the discovery path's pooled shard set is recycled.
 func (t *shardedTx) finishRun(site uintptr, hinted bool) {
 	if !hinted {
-		t.fp.learn(site, t.used)
+		t.fp.learn(site, t.used, t.usedKeys, t.keyOverflow)
 	}
+	t.trackKeys = false
+	t.latchKeys = nil
 	if t.grown != nil {
 		putFootprint(t.grown)
 		t.grown = nil
@@ -835,15 +1074,23 @@ func (m *shardedMap[V]) Remove(tx Tx, k uint64) (V, bool) {
 }
 
 // shardedQueue is a base queue resident on its home shard, reached through
-// the same enter machinery so queue+map transactions stay atomic.
+// the same enter machinery so queue+map transactions stay atomic. lkey is
+// the queue's synthetic latch key: declared via HintQueues it lets latched
+// transactions serialize same-queue traffic without locking the home shard,
+// and learning Runs record it so the footprint cache can predict queue
+// footprints too.
 type shardedQueue struct {
 	e    *shardedEngine
 	home int
+	lkey uint64
 	q    Queue[uint64]
 }
 
 func (q *shardedQueue) Enqueue(tx Tx, v uint64) {
 	t := tx.(*shardedTx)
+	if t.trackKeys && t.inRun {
+		t.noteKey(q.lkey)
+	}
 	bt, release := t.enter(q.home)
 	q.q.Enqueue(bt, v)
 	release()
@@ -851,6 +1098,9 @@ func (q *shardedQueue) Enqueue(tx Tx, v uint64) {
 
 func (q *shardedQueue) Dequeue(tx Tx) (uint64, bool) {
 	t := tx.(*shardedTx)
+	if t.trackKeys && t.inRun {
+		t.noteKey(q.lkey)
+	}
 	bt, release := t.enter(q.home)
 	v, ok := q.q.Dequeue(bt)
 	release()

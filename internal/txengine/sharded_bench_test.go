@@ -1,20 +1,27 @@
 package txengine
 
 // Hot-path microbenchmarks for the sharded runtime: key routing, the
-// single-shard commit fast path, cross-shard commits via discovery, hints,
-// and the footprint cache's hit and miss paths. scripts/bench.sh runs the
-// suite and emits BENCH_5.json; CI runs it at -benchtime=1x so the benches
-// always compile and execute.
+// single-shard commit fast path, cross-shard commits via discovery, hints
+// (now the latched path) and their whole-shard-locked control, the latch
+// table itself, and the footprint cache's hit and miss paths.
+// scripts/bench.sh runs the suite and emits BENCH_6.json; CI runs it at
+// -benchtime=1x so the benches always compile and execute.
 
 import (
+	"runtime"
+	"sync"
 	"testing"
 )
 
 const benchShards = 8
 
 func benchEngine(b *testing.B) (*shardedEngine, Map[uint64], Map[uint64], *shardedTx) {
+	return benchEngineCfg(b, Config{Shards: benchShards})
+}
+
+func benchEngineCfg(b *testing.B, cfg Config) (*shardedEngine, Map[uint64], Map[uint64], *shardedTx) {
 	b.Helper()
-	eng, err := Build("medley-sharded", Config{Shards: benchShards})
+	eng, err := Build("medley-sharded", cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -121,6 +128,130 @@ func BenchmarkCrossShardCommitHinted(b *testing.B) {
 			return nil
 		})
 	}
+}
+
+// BenchmarkCrossShardCommitHintedNoLatch is the whole-shard-locked control
+// for BenchmarkCrossShardCommitHinted: same hinted transaction on an engine
+// built with Config.NoLatch, so every cross-shard commit takes exclusive
+// shard locks instead of key latches. The uncontended delta between the two
+// is the latched path's overhead (group link + latch acquire/release); under
+// contention the latched path wins by not serializing whole shards.
+func BenchmarkCrossShardCommitHintedNoLatch(b *testing.B) {
+	se, m1, m2, tx := benchEngineCfg(b, Config{Shards: benchShards, NoLatch: true})
+	keys := distinctShardKeys(b, se, 4, 0)
+	for _, k := range keys {
+		m1.Put(tx, k, 1<<40)
+	}
+	b.ResetTimer()
+	for i := 0; b.N > i; i++ {
+		from, to := keys[0], keys[1]
+		if i&1 == 1 {
+			from, to = keys[2], keys[3]
+		}
+		HintKeys(tx, from, to)
+		_ = tx.Run(func() error {
+			v, _ := m1.Get(tx, from)
+			m1.Put(tx, from, v-1)
+			w, _ := m2.Get(tx, to)
+			m2.Put(tx, to, w+1)
+			return nil
+		})
+	}
+}
+
+// benchDisjointContended drives several goroutines through hinted
+// cross-shard transfers whose key pairs are pairwise disjoint but all live
+// on the same two shards — the shape key-granular latching exists for. Each
+// body yields once mid-transaction so transactions genuinely overlap in
+// time (on a host with fewer Ps than workers they otherwise run to
+// completion back to back and nothing contends). Latched, the yielded-to
+// workers proceed concurrently — no two ever touch a common key — and all
+// eight stay in flight; shard-locked, whoever yields still holds both
+// shards exclusively, so the others convoy behind the locks and the
+// rotation degrades to one transaction at a time.
+func benchDisjointContended(b *testing.B, noLatch bool) {
+	const workers = 8
+	se, m1, m2, init := benchEngineCfg(b, Config{Shards: benchShards, NoLatch: noLatch})
+	var pairs [workers][2]uint64
+	next := uint64(0)
+	for g := range pairs {
+		pairs[g][0] = keyOnShard(b, se, 0, next)
+		pairs[g][1] = keyOnShard(b, se, 1, pairs[g][0]+1)
+		next = pairs[g][1] + 1
+		m1.Put(init, pairs[g][0], 1<<40)
+	}
+	var id int64
+	var mu sync.Mutex
+	b.SetParallelism(workers) // goroutines, not Ps: contention on a 1-P host too
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		mu.Lock()
+		g := id % workers
+		id++
+		mu.Unlock()
+		tx := se.NewWorker(int(g) + 1)
+		from, to := pairs[g][0], pairs[g][1]
+		for pb.Next() {
+			HintKeys(tx, from, to)
+			_ = tx.Run(func() error {
+				v, _ := m1.Get(tx, from)
+				m1.Put(tx, from, v-1)
+				runtime.Gosched() // overlap: another worker's txn interleaves here
+				w, _ := m2.Get(tx, to)
+				m2.Put(tx, to, w+1)
+				return nil
+			})
+		}
+	})
+}
+
+// BenchmarkCrossShardDisjointContendedLatched: 8 workers, disjoint key
+// pairs, one hot shard pair, key latches on.
+func BenchmarkCrossShardDisjointContendedLatched(b *testing.B) {
+	benchDisjointContended(b, false)
+}
+
+// BenchmarkCrossShardDisjointContendedNoLatch is the whole-shard-locked
+// control of the same workload; the gap between the two is the latch
+// layer's headline.
+func BenchmarkCrossShardDisjointContendedNoLatch(b *testing.B) {
+	benchDisjointContended(b, true)
+}
+
+// BenchmarkLatchAcquireRelease measures the uncontended latch hot path: a
+// four-key sorted set acquired and released per iteration (the payment
+// shape), all latches free — the cost a latched commit pays over a
+// shard-locked one before any contention.
+func BenchmarkLatchAcquireRelease(b *testing.B) {
+	lt := newLatchTable()
+	w := newLatchWaiter()
+	keys := []uint64{3, 257, 1031, 8209}
+	for i := 0; b.N > i; i++ {
+		lt.acquireAll(keys, &w)
+		lt.releaseAll(keys)
+	}
+}
+
+// BenchmarkLatchContendedHandoff measures the wait/wake path: two
+// goroutines hammer one hot key, so acquisitions constantly queue and
+// ownership moves by direct FIFO handoff.
+func BenchmarkLatchContendedHandoff(b *testing.B) {
+	lt := newLatchTable()
+	var wg sync.WaitGroup
+	n := b.N
+	b.ResetTimer()
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := newLatchWaiter()
+			for i := 0; i < n; i++ {
+				lt.acquire(42, &w)
+				lt.release(42)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // BenchmarkFootprintCacheHit measures a converged site: a stable key pair

@@ -31,6 +31,17 @@ import (
 //     operation escaped it); the Run fell back to the discovery path and
 //     the stale cache entry was invalidated. At most one per Run. Hits and
 //     misses count only pre-declared Runs: plain discovery moves neither.
+//   - LatchWaits: key latches a latched cross-shard attempt had to queue
+//     for because another latched transaction held them (see latch.go). A
+//     high rate relative to Commits means declared footprints overlap on
+//     hot keys — traffic is pipelining through the latch FIFO rather than
+//     aborting, which is the latch layer doing its job.
+//   - LatchFallbacks: cross-shard attempts that took whole-shard exclusive
+//     locks even though key latching was enabled — discovery mode (no
+//     declared keys), mispredictions retrying, oversized key sets (>
+//     latchMaxKeys), or a base engine without shared-fate commit support.
+//     Zero when latching is disabled (Config.NoLatch) or the engine is
+//     unsharded.
 //
 // Standalone map operations called outside Run count only on engines that
 // implement them as one-shot transactions (OneFile, TDSL, LFTT); Medley and
@@ -43,6 +54,8 @@ type Stats struct {
 	CrossShardRestarts uint64
 	FootprintHits      uint64
 	FootprintMisses    uint64
+	LatchWaits         uint64
+	LatchFallbacks     uint64
 }
 
 // Add accumulates o into s.
@@ -54,6 +67,8 @@ func (s *Stats) Add(o Stats) {
 	s.CrossShardRestarts += o.CrossShardRestarts
 	s.FootprintHits += o.FootprintHits
 	s.FootprintMisses += o.FootprintMisses
+	s.LatchWaits += o.LatchWaits
+	s.LatchFallbacks += o.LatchFallbacks
 }
 
 // Delta returns the counters accumulated since the prev snapshot.
@@ -66,12 +81,15 @@ func (s Stats) Delta(prev Stats) Stats {
 		CrossShardRestarts: s.CrossShardRestarts - prev.CrossShardRestarts,
 		FootprintHits:      s.FootprintHits - prev.FootprintHits,
 		FootprintMisses:    s.FootprintMisses - prev.FootprintMisses,
+		LatchWaits:         s.LatchWaits - prev.LatchWaits,
+		LatchFallbacks:     s.LatchFallbacks - prev.LatchFallbacks,
 	}
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("commits=%d aborts=%d retries=%d fallbacks=%d xrestarts=%d fphits=%d fpmisses=%d",
-		s.Commits, s.Aborts, s.Retries, s.Fallbacks, s.CrossShardRestarts, s.FootprintHits, s.FootprintMisses)
+	return fmt.Sprintf("commits=%d aborts=%d retries=%d fallbacks=%d xrestarts=%d fphits=%d fpmisses=%d latchw=%d latchfb=%d",
+		s.Commits, s.Aborts, s.Retries, s.Fallbacks, s.CrossShardRestarts, s.FootprintHits, s.FootprintMisses,
+		s.LatchWaits, s.LatchFallbacks)
 }
 
 // counters is the shared engine-level accumulator behind Engine.Stats.
@@ -80,6 +98,7 @@ type counters struct {
 	commits, aborts, retries, fallbacks atomic.Uint64
 	crossRestarts                       atomic.Uint64
 	fpHits, fpMisses                    atomic.Uint64
+	latchWaits, latchFallbacks          atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
@@ -91,6 +110,8 @@ func (c *counters) snapshot() Stats {
 		CrossShardRestarts: c.crossRestarts.Load(),
 		FootprintHits:      c.fpHits.Load(),
 		FootprintMisses:    c.fpMisses.Load(),
+		LatchWaits:         c.latchWaits.Load(),
+		LatchFallbacks:     c.latchFallbacks.Load(),
 	}
 }
 

@@ -140,6 +140,12 @@ type Config struct {
 	// (0: DefaultShards). Non-sharded engines ignore it. Validated centrally
 	// by every registry construction path — see Validate.
 	Shards int
+	// NoLatch disables key-granular latching on sharded engines: every
+	// cross-shard transaction takes whole-shard exclusive locks, as it did
+	// before the latch manager existed. An A/B escape hatch for measurement
+	// (-nolatch in the CLIs) and a kill switch should latching ever
+	// misbehave; non-sharded engines ignore it.
+	NoLatch bool
 }
 
 // MaxShards bounds Config.Shards: a larger count is almost certainly a typo

@@ -69,10 +69,19 @@ func runTransfer(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, e
 	txns, el, lh := drive(cfg.threads(), cfg.dur(), cfg.Latency, func(tid int) func() uint64 {
 		tx := eng.NewWorker(tid)
 		rng := rand.New(rand.NewPCG(cfg.seed(), uint64(tid)+1))
+		// Accounts draw uniformly by default; Config.ZipfS > 1 skews the
+		// draws toward a few hot accounts (the contention knob of the latch
+		// A/B measurements — under skew, whole-shard locking serializes the
+		// hot shard while key latches only serialize the hot accounts).
+		draw := func() uint64 { return rng.Uint64N(accounts) }
+		if cfg.ZipfS > 1 {
+			z := rand.NewZipf(rng, cfg.ZipfS, 1, accounts-1)
+			draw = z.Uint64
+		}
 		var hintKeys [2]uint64 // reused so hinting allocates nothing per txn
 		return func() uint64 {
-			from := rng.Uint64N(accounts)
-			to := rng.Uint64N(accounts)
+			from := draw()
+			to := draw()
 			// Both account keys are known before the transaction begins —
 			// the transfer shape's planner hint. On sharded engines the
 			// pre-declared shard set is locked up front, skipping the

@@ -49,9 +49,16 @@ type Config struct {
 	// Shards is the partition count for sharded engines (0: engine
 	// default); non-sharded engines ignore it.
 	Shards int
+	// NoLatch disables key-granular cross-shard latching on sharded
+	// engines: cross-shard transactions take whole-shard exclusive locks
+	// as they did before the latch manager. The A/B control for latch
+	// measurements; non-sharded engines ignore it.
+	NoLatch bool
 
-	// ZipfS is the cache scenario's Zipf skew exponent (>1.0; 0: 1.2).
-	// Higher values concentrate traffic on fewer hot keys.
+	// ZipfS is the Zipf skew exponent (>1.0). Higher values concentrate
+	// traffic on fewer hot keys. The cache scenario always skews (0: 1.2);
+	// the transfer scenario draws accounts uniformly unless ZipfS is set,
+	// making it the contention knob for latch A/B measurements.
 	ZipfS float64
 	// ReadPct is the cache scenario's lookup percentage, 0–100 (0: 90;
 	// negative: an all-update mix). The remainder are invalidating updates.
@@ -259,7 +266,7 @@ func Run(scenario, engine string, cfg Config) (Result, error) {
 	if err := sc.CanRun(b); err != nil {
 		return Result{}, err
 	}
-	eng, err := b.New(txengine.Config{Latencies: cfg.Latencies, EpochLen: cfg.EpochLen, Shards: cfg.Shards})
+	eng, err := b.New(txengine.Config{Latencies: cfg.Latencies, EpochLen: cfg.EpochLen, Shards: cfg.Shards, NoLatch: cfg.NoLatch})
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the sharded-runtime hot-path microbenchmark suite and emit
-# a machine-readable JSON result file (default BENCH_5.json at the repo
+# a machine-readable JSON result file (default BENCH_6.json at the repo
 # root), establishing the repository's perf trajectory across PRs.
 #
 # Usage:
@@ -8,14 +8,32 @@
 #   BENCHTIME=2s COUNT=3 scripts/bench.sh    # longer, repeated runs
 #
 # The suite lives in internal/txengine/sharded_bench_test.go: key routing,
-# single-shard commit fast path, cross-shard commit via discovery vs hints,
-# and the footprint cache's hit and miss paths.
+# single-shard commit fast path, cross-shard commit via discovery vs hints
+# (latched) vs the NoLatch shard-locked control, the latch table's
+# uncontended and contended paths, and the footprint cache's hit and miss
+# paths.
+#
+# Committed BENCH_N.json files for earlier PRs are history, not scratch
+# space: writing over one would silently rewrite the perf trajectory, so the
+# script refuses unless the target is this PR's own file or an uncommitted
+# path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+pr=6
+out="${1:-BENCH_${pr}.json}"
 benchtime="${BENCHTIME:-0.5s}"
 count="${COUNT:-1}"
+
+# Refuse to clobber a committed BENCH_N.json belonging to an earlier PR.
+if [[ "$(basename "$out")" =~ ^BENCH_([0-9]+)\.json$ ]]; then
+  n="${BASH_REMATCH[1]}"
+  if [ "$n" -lt "$pr" ] && git ls-files --error-unmatch "$out" >/dev/null 2>&1; then
+    echo "refusing to overwrite committed $out (PR $n history; this is PR $pr)" >&2
+    exit 1
+  fi
+fi
+
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -36,9 +54,10 @@ awk '
 {
   echo '{'
   echo '  "suite": "internal/txengine sharded-runtime hot-path microbenchmarks",'
-  echo '  "pr": 5,'
+  echo "  \"pr\": $pr,"
   echo "  \"go\": \"$(go env GOVERSION)\","
   echo "  \"host_cpus\": $(getconf _NPROCESSORS_ONLN),"
+  echo "  \"gomaxprocs\": $(go run ./scripts/gomaxprocs 2>/dev/null || getconf _NPROCESSORS_ONLN),"
   echo "  \"benchtime\": \"$benchtime\","
   echo "  \"count\": $count,"
   cpu="$(awk '/^cpu:/ { sub(/^cpu: */, ""); print; exit }' "$raw")"

@@ -1,0 +1,12 @@
+// Command gomaxprocs prints the Go runtime's effective GOMAXPROCS, which
+// can differ from the host CPU count under a GOMAXPROCS env override or a
+// container CPU quota. scripts/bench.sh records it next to host_cpus so a
+// benchmark JSON says how much parallelism the runtime actually had.
+package main
+
+import (
+	"fmt"
+	"runtime"
+)
+
+func main() { fmt.Println(runtime.GOMAXPROCS(0)) }
