@@ -17,6 +17,7 @@
 //	medleybench -workload all             # workqueue, cache, transfer
 //	medleybench -workload transfer -systems medley-sharded -shards 8 -lat
 //	medleybench -workload cache -zipf 1.6 -readpct 70 -accounts 64
+//	medleybench -workload cache -readpct 95 -snapshot   # MVCC snapshot probes
 //	medleybench -list                     # registered engines + workloads
 //
 // Scale 1.0 reproduces the paper's 1M-key / 0.5M-preload configuration;
@@ -54,6 +55,7 @@ func main() {
 	readPct := flag.Int("readpct", -1, "cache workload: lookup percentage 0-100 (-1: default 90)")
 	accounts := flag.Int("accounts", 0, "transfer workload: account count (0: 1024 scaled); fewer = hotter")
 	lat := flag.Bool("lat", false, "workloads: measure per-transaction latency percentiles (p50/p99 columns)")
+	snapshot := flag.Bool("snapshot", false, "cache workload: serve read probes as validation-free MVCC snapshot reads (engines with CapSnapshot only)")
 	noHints := flag.Bool("nohints", false, "workloads: disable footprint hints on sharded engines (measure the discovery path)")
 	noLatch := flag.Bool("nolatch", false, "disable key-granular cross-shard latching on sharded engines (whole-shard locks, the pre-latch behavior)")
 	flag.Parse()
@@ -99,6 +101,7 @@ func main() {
 			Latencies: pnvm.DefaultLatencies(), EpochLen: *epochLen,
 			Shards: *shards, NoLatch: *noLatch, ZipfS: *zipfS, ReadPct: rp,
 			Accounts: *accounts, Latency: *lat, NoHints: *noHints,
+			Snapshot: *snapshot,
 		}
 		runWorkloads(*wlFlag, *systemsFlag, threads, cfg)
 		return
@@ -258,7 +261,11 @@ func runWorkloads(wlFlag, systemsFlag string, threads []int, cfg workload.Config
 			capable := 0
 			for _, name := range wls {
 				sc, _ := workload.Lookup(name)
-				if err := sc.CanRun(b); err == nil {
+				err := sc.CanRun(b)
+				if err == nil && cfg.Snapshot && !b.Caps.Has(txengine.CapSnapshot) {
+					err = fmt.Errorf("engine %q cannot serve -snapshot reads (needs CapSnapshot)", engine)
+				}
+				if err == nil {
 					capable++
 				} else if firstErr == nil {
 					firstErr = err
@@ -281,16 +288,30 @@ func runWorkloads(wlFlag, systemsFlag string, threads []int, cfg workload.Config
 					fmt.Fprintf(os.Stderr, "# skipping %s on %s: %v\n", name, engine, err)
 					continue
 				}
+				if cfg.Snapshot && !b.Caps.Has(txengine.CapSnapshot) {
+					fmt.Fprintf(os.Stderr, "# skipping %s on %s: engine cannot serve -snapshot reads (needs CapSnapshot)\n", name, engine)
+					continue
+				}
 				systems = append(systems, engine)
 			}
+		} else if cfg.Snapshot {
+			kept := systems[:0]
+			for _, engine := range systems {
+				if b, _ := txengine.Lookup(engine); b.Caps.Has(txengine.CapSnapshot) {
+					kept = append(kept, engine)
+				} else {
+					fmt.Fprintf(os.Stderr, "# skipping %s on %s: engine cannot serve -snapshot reads (needs CapSnapshot)\n", name, engine)
+				}
+			}
+			systems = kept
 		}
 		fmt.Printf("\n## workload %s (%s)\n", name, sc.Doc)
 		if cfg.Latency {
-			fmt.Printf("%-12s %8s %14s %12s %10s %10s %10s %10s %10s %10s %10s %10s %10s %10s  %s\n",
-				"system", "threads", "txn/s", "commits", "aborts", "retries", "fallbacks", "xshard", "fphit", "fpmiss", "latchw", "latchfb", "p50", "p99", "audit")
+			fmt.Printf("%-12s %8s %14s %12s %10s %10s %10s %10s %10s %10s %10s %10s %10s %10s %10s %10s  %s\n",
+				"system", "threads", "txn/s", "commits", "aborts", "retries", "fallbacks", "xshard", "fphit", "fpmiss", "latchw", "latchfb", "snapread", "snapstale", "p50", "p99", "audit")
 		} else {
-			fmt.Printf("%-12s %8s %14s %12s %10s %10s %10s %10s %10s %10s %10s %10s  %s\n",
-				"system", "threads", "txn/s", "commits", "aborts", "retries", "fallbacks", "xshard", "fphit", "fpmiss", "latchw", "latchfb", "audit")
+			fmt.Printf("%-12s %8s %14s %12s %10s %10s %10s %10s %10s %10s %10s %10s %10s %10s  %s\n",
+				"system", "threads", "txn/s", "commits", "aborts", "retries", "fallbacks", "xshard", "fphit", "fpmiss", "latchw", "latchfb", "snapread", "snapstale", "audit")
 		}
 		for _, engine := range systems {
 			for _, th := range threads {
@@ -302,18 +323,20 @@ func runWorkloads(wlFlag, systemsFlag string, threads []int, cfg workload.Config
 					os.Exit(2)
 				}
 				if cfg.Latency {
-					fmt.Printf("%-12s %8d %14.0f %12d %10d %10d %10d %10d %10d %10d %10d %10d %10v %10v  %s\n",
+					fmt.Printf("%-12s %8d %14.0f %12d %10d %10d %10d %10d %10d %10d %10d %10d %10d %10d %10v %10v  %s\n",
 						res.System, res.Threads, res.Throughput,
 						res.Stats.Commits, res.Stats.Aborts, res.Stats.Retries, res.Stats.Fallbacks,
 						res.Stats.CrossShardRestarts, res.Stats.FootprintHits, res.Stats.FootprintMisses,
 						res.Stats.LatchWaits, res.Stats.LatchFallbacks,
+						res.Stats.SnapshotReads, res.Stats.SnapshotStale,
 						res.P50, res.P99, res.AuxString())
 				} else {
-					fmt.Printf("%-12s %8d %14.0f %12d %10d %10d %10d %10d %10d %10d %10d %10d  %s\n",
+					fmt.Printf("%-12s %8d %14.0f %12d %10d %10d %10d %10d %10d %10d %10d %10d %10d %10d  %s\n",
 						res.System, res.Threads, res.Throughput,
 						res.Stats.Commits, res.Stats.Aborts, res.Stats.Retries, res.Stats.Fallbacks,
 						res.Stats.CrossShardRestarts, res.Stats.FootprintHits, res.Stats.FootprintMisses,
 						res.Stats.LatchWaits, res.Stats.LatchFallbacks,
+						res.Stats.SnapshotReads, res.Stats.SnapshotStale,
 						res.AuxString())
 				}
 			}

@@ -104,6 +104,7 @@ type shardedEngine struct {
 	nextQ  atomic.Uint64 // round-robin home-shard assignment for queues
 	ct     counters
 	latch  *latchTable // key-granular cross-shard latches; nil when disabled
+	snap   *snapTier   // the engine's single MVCC snapshot tier; nil without CapSnapshot
 
 	// Persistence coordination (nil/empty when the base is transient): the
 	// shared epoch clock, each shard's epoch system and device in shard
@@ -154,6 +155,10 @@ func newShardedEngine(baseKey string, cfg Config) (Engine, error) {
 	sub := cfg
 	sub.EpochClock = clock
 	sub.EpochLen = 0 // the coordinator owns the advance cadence, not the shards
+	// The decorator owns the one snapshot tier and wraps only its top-level
+	// maps; sub-engines must not each run a private clock, or a cross-shard
+	// transaction would stamp S unrelated timestamps.
+	sub.snapOff = true
 	e := &shardedEngine{caps: b.Caps, txCap: b.Caps.Has(CapTx)}
 	for i := 0; i < n; i++ {
 		c := sub
@@ -191,6 +196,17 @@ func newShardedEngine(baseKey string, cfg Config) (Engine, error) {
 		}
 	} else {
 		e.esys, e.devs = nil, nil
+	}
+	if e.txCap && e.caps.Has(CapSnapshot) && !cfg.snapOff {
+		// One tier for the whole engine: every commit — single-shard,
+		// cross-shard exclusive, or a PR 6 shared-fate latch group — draws
+		// exactly one timestamp from it. Anchored to the shared epoch clock
+		// on persistent bases.
+		var ec *montage.EpochClock
+		if e.clock != nil {
+			ec = e.clock
+		}
+		e.snap = newSnapTier(ec)
 	}
 	return e, nil
 }
@@ -296,7 +312,20 @@ func (e *shardedEngine) RecoverUintMap(dumps [][]pnvm.Record, spec MapSpec) (Map
 			sub[i] = txmapAdapter[uint64]{montage.RecoverSkipMap(e.esys[i], u64, live)}
 		}
 	}
-	return &shardedMap[uint64]{e: e, sub: sub}, nil
+	inner := &shardedMap[uint64]{e: e, sub: sub}
+	if e.snap == nil {
+		return inner, nil
+	}
+	// Seed every recovered record into the snapshot sidecar at the tier's
+	// base cut: a chain miss means "absent", so unseeded recovered keys
+	// would vanish from snapshots until their first post-recovery write.
+	ch := &snapChains{tier: e.snap}
+	for i := range e.shards {
+		for _, r := range montage.LiveRecordsAt(dumps[i], cut) {
+			ch.seed(r.Key, u64.Dec(r.Val), nil)
+		}
+	}
+	return newSnapUintMap(inner, ch), nil
 }
 
 // shardOf routes a key to its owning shard: Fibonacci hashing spreads
@@ -325,14 +354,22 @@ func (e *shardedEngine) subSpec(spec MapSpec) MapSpec {
 }
 
 func (e *shardedEngine) NewUintMap(spec MapSpec) (Map[uint64], error) {
-	return newShardedMap(e, spec, Engine.NewUintMap)
+	m, err := newShardedMap(e, spec, Engine.NewUintMap)
+	if err != nil || e.snap == nil {
+		return m, err
+	}
+	return newSnapUintMap(m, &snapChains{tier: e.snap}), nil
 }
 
 func (e *shardedEngine) NewRowMap(spec MapSpec) (Map[any], error) {
 	if !e.caps.Has(CapRowMaps) {
 		return nil, ErrUnsupported
 	}
-	return newShardedMap(e, spec, Engine.NewRowMap)
+	m, err := newShardedMap(e, spec, Engine.NewRowMap)
+	if err != nil || e.snap == nil {
+		return m, err
+	}
+	return newSnapRowMap(m, &snapChains{tier: e.snap}), nil
 }
 
 // NewUintQueue places the queue wholly on one shard (queues have no keys to
@@ -363,6 +400,10 @@ func (e *shardedEngine) NewWorker(tid int) Tx {
 		cur: -1}
 	if e.latch != nil {
 		t.lw = newLatchWaiter()
+	}
+	if e.snap != nil {
+		t.snap.tier = e.snap
+		t.snap.slot = e.snap.newSlot()
 	}
 	return t
 }
@@ -429,7 +470,37 @@ type shardedTx struct {
 	memoK [routeMemoSize]uint64
 	memoS [routeMemoSize]uint16
 
-	bo backoff
+	snap snapAgent // MVCC snapshot state; tier nil when the engine has none
+	bo   backoff
+}
+
+// snapAgent / snapBuffering implement the snapTxn seam for the top-level
+// snapMaps: writes buffer while a (non-doomed) Run is open and publish at
+// the logical transaction's single commit timestamp.
+func (t *shardedTx) snapAgent() *snapAgent { return &t.snap }
+func (t *shardedTx) snapBuffering() bool   { return t.inRun && !t.aborted }
+
+// SnapshotRead implements SnapshotReader, exactly as on the unsharded
+// engines: the cut is tier-wide, so it is consistent across every shard —
+// the seal cannot pass a cross-shard (or shared-fate group) commit that is
+// still mid-flight, because the whole group is one commit window on the
+// shared tier.
+func (t *shardedTx) SnapshotRead(fn func()) bool {
+	if !t.snap.enabled() {
+		return false
+	}
+	if t.inRun {
+		panic("txengine: SnapshotRead inside an open transaction")
+	}
+	rt, stale := t.snap.tier.beginSnapshot(t.snap.slot)
+	t.snap.rt = rt
+	defer func() {
+		t.snap.rt = 0
+		t.snap.tier.endSnapshot(t.snap.slot)
+	}()
+	fn()
+	t.e.ct.countSnapshot(stale)
+	return true
 }
 
 // handle returns this worker's base handle for shard s, creating it (and its
@@ -719,9 +790,21 @@ func (t *shardedTx) commit() error {
 		}
 		s := t.cur
 		t.begun = t.begun[:0]
+		var ts uint64
+		if len(t.snap.pending) > 0 {
+			ts = t.snap.tier.beginCommit(t.snap.slot)
+		}
 		err := t.man[s].commitManual()
 		t.e.shards[s].mu.RUnlock()
 		t.cur = -1
+		if ts != 0 {
+			if err == nil {
+				t.snap.publishAll(ts)
+			} else {
+				t.snap.reset()
+			}
+			t.snap.tier.endCommit(t.snap.slot)
+		}
 		return err
 	}
 	if t.latched {
@@ -747,6 +830,14 @@ func (t *shardedTx) commit() error {
 			}
 		}
 	}
+	// One timestamp for the whole shard set: drawn after the epoch
+	// pre-check, before the first sub-transaction's InPrep→InProg
+	// transition, published only once every sub-commit has succeeded.
+	var ts uint64
+	if len(t.snap.pending) > 0 {
+		ts = t.snap.tier.beginCommit(t.snap.slot)
+		defer t.snap.tier.endCommit(t.snap.slot)
+	}
 	for i, s := range t.begun {
 		if err := t.man[s].commitManual(); err != nil {
 			if i > 0 {
@@ -761,10 +852,14 @@ func (t *shardedTx) commit() error {
 				t.man[r].abortManual()
 			}
 			t.begun = t.begun[:0]
+			t.snap.reset()
 			return err
 		}
 	}
 	t.begun = t.begun[:0]
+	if ts != 0 {
+		t.snap.publishAll(ts)
+	}
 	return nil
 }
 
@@ -794,7 +889,24 @@ func (t *shardedTx) commitLatched() error {
 		}
 	}
 	t.begun = t.begun[:0]
-	return core.CommitLinked(t.sesBuf)
+	// The shared-fate group stamps ONE version: the timestamp is drawn
+	// before CommitLinked's single InPrep→InProg transition and published
+	// for every member's writes together iff the group's one verdict is
+	// commit.
+	var ts uint64
+	if len(t.snap.pending) > 0 {
+		ts = t.snap.tier.beginCommit(t.snap.slot)
+	}
+	err := core.CommitLinked(t.sesBuf)
+	if ts != 0 {
+		if err == nil {
+			t.snap.publishAll(ts)
+		} else {
+			t.snap.reset()
+		}
+		t.snap.tier.endCommit(t.snap.slot)
+	}
+	return err
 }
 
 // attempt executes fn once. A non-nil grew return means the attempt's shard
@@ -804,6 +916,7 @@ func (t *shardedTx) attempt(fn func() error, want []int) (err error, grew []int)
 	t.inRun = true
 	t.aborted = false
 	t.cur = -1
+	t.snap.reset()
 	t.begun = t.begun[:0]
 	t.used = t.used[:0]
 	t.usedKeys = t.usedKeys[:0]
@@ -1088,6 +1201,9 @@ type shardedQueue struct {
 
 func (q *shardedQueue) Enqueue(tx Tx, v uint64) {
 	t := tx.(*shardedTx)
+	if t.snap.rt != 0 {
+		panic("txengine: queue operation inside SnapshotRead (queues are unversioned)")
+	}
 	if t.trackKeys && t.inRun {
 		t.noteKey(q.lkey)
 	}
@@ -1098,6 +1214,9 @@ func (q *shardedQueue) Enqueue(tx Tx, v uint64) {
 
 func (q *shardedQueue) Dequeue(tx Tx) (uint64, bool) {
 	t := tx.(*shardedTx)
+	if t.snap.rt != 0 {
+		panic("txengine: queue operation inside SnapshotRead (queues are unversioned)")
+	}
 	if t.trackKeys && t.inRun {
 		t.noteKey(q.lkey)
 	}

@@ -42,6 +42,15 @@ import (
 //     latchMaxKeys), or a base engine without shared-fate commit support.
 //     Zero when latching is disabled (Config.NoLatch) or the engine is
 //     unsharded.
+//   - SnapshotReads: SnapshotRead transactions served from the MVCC version
+//     tier (see snapshot.go). Each also counts as a Commit — a snapshot is
+//     a committed read-only transaction — and by construction contributes
+//     zero Aborts and zero Retries. Zero on engines without CapSnapshot.
+//   - SnapshotStale: SnapshotReads whose pinned cut trailed the newest
+//     drawn commit timestamp at begin time (a writer was still in flight).
+//     The snapshot is still consistent — just not the absolute freshest
+//     state; a persistently high ratio means long-running writers are
+//     holding the seal back.
 //
 // Standalone map operations called outside Run count only on engines that
 // implement them as one-shot transactions (OneFile, TDSL, LFTT); Medley and
@@ -56,6 +65,8 @@ type Stats struct {
 	FootprintMisses    uint64
 	LatchWaits         uint64
 	LatchFallbacks     uint64
+	SnapshotReads      uint64
+	SnapshotStale      uint64
 }
 
 // Add accumulates o into s.
@@ -69,6 +80,8 @@ func (s *Stats) Add(o Stats) {
 	s.FootprintMisses += o.FootprintMisses
 	s.LatchWaits += o.LatchWaits
 	s.LatchFallbacks += o.LatchFallbacks
+	s.SnapshotReads += o.SnapshotReads
+	s.SnapshotStale += o.SnapshotStale
 }
 
 // Delta returns the counters accumulated since the prev snapshot.
@@ -83,13 +96,15 @@ func (s Stats) Delta(prev Stats) Stats {
 		FootprintMisses:    s.FootprintMisses - prev.FootprintMisses,
 		LatchWaits:         s.LatchWaits - prev.LatchWaits,
 		LatchFallbacks:     s.LatchFallbacks - prev.LatchFallbacks,
+		SnapshotReads:      s.SnapshotReads - prev.SnapshotReads,
+		SnapshotStale:      s.SnapshotStale - prev.SnapshotStale,
 	}
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("commits=%d aborts=%d retries=%d fallbacks=%d xrestarts=%d fphits=%d fpmisses=%d latchw=%d latchfb=%d",
+	return fmt.Sprintf("commits=%d aborts=%d retries=%d fallbacks=%d xrestarts=%d fphits=%d fpmisses=%d latchw=%d latchfb=%d snapreads=%d snapstale=%d",
 		s.Commits, s.Aborts, s.Retries, s.Fallbacks, s.CrossShardRestarts, s.FootprintHits, s.FootprintMisses,
-		s.LatchWaits, s.LatchFallbacks)
+		s.LatchWaits, s.LatchFallbacks, s.SnapshotReads, s.SnapshotStale)
 }
 
 // counters is the shared engine-level accumulator behind Engine.Stats.
@@ -99,6 +114,7 @@ type counters struct {
 	crossRestarts                       atomic.Uint64
 	fpHits, fpMisses                    atomic.Uint64
 	latchWaits, latchFallbacks          atomic.Uint64
+	snapReads, snapStale                atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
@@ -112,6 +128,19 @@ func (c *counters) snapshot() Stats {
 		FootprintMisses:    c.fpMisses.Load(),
 		LatchWaits:         c.latchWaits.Load(),
 		LatchFallbacks:     c.latchFallbacks.Load(),
+		SnapshotReads:      c.snapReads.Load(),
+		SnapshotStale:      c.snapStale.Load(),
+	}
+}
+
+// countSnapshot accounts one completed snapshot read: a commit (a snapshot
+// is a committed read-only transaction) that by construction cannot abort
+// or retry, plus the snapshot-specific counters.
+func (c *counters) countSnapshot(stale bool) {
+	c.commits.Add(1)
+	c.snapReads.Add(1)
+	if stale {
+		c.snapStale.Add(1)
 	}
 }
 

@@ -76,6 +76,13 @@ const (
 	// LFTT (no critical "key" nodes), so only Medley-family engines and the
 	// untransformed Original baseline carry it.
 	CapQueue
+	// CapSnapshot: the engine stamps committed transactions with commit
+	// timestamps and its Tx handles implement SnapshotReader, so
+	// SnapshotRead(fn) serves read-only transactions from a consistent
+	// versioned cut — validation-free, never aborting, never restarting
+	// (see snapshot.go). Carried by the Medley family; engines without
+	// versions gate out exactly like CapQueue.
+	CapSnapshot
 )
 
 // Has reports whether c contains every capability in want.
@@ -146,6 +153,13 @@ type Config struct {
 	// (-nolatch in the CLIs) and a kill switch should latching ever
 	// misbehave; non-sharded engines ignore it.
 	NoLatch bool
+	// snapOff disables the MVCC snapshot tier on engines that would
+	// otherwise carry one. Set internally by the sharded decorator for its
+	// sub-engines: the decorator owns the single tier-wide clock and wraps
+	// only its top-level maps, so a cross-shard transaction stamps exactly
+	// one version for the whole shard set (and PR 6 shared-fate groups
+	// stamp one version for the whole group).
+	snapOff bool
 }
 
 // MaxShards bounds Config.Shards: a larger count is almost certainly a typo

@@ -1,7 +1,7 @@
 package workload
 
 import (
-	mrand "math/rand"
+	"math/rand/v2"
 	"sync/atomic"
 
 	"medley/internal/txengine"
@@ -52,19 +52,35 @@ func runCache(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, erro
 	}
 
 	var hits, misses, updates, conflictsLost atomic.Uint64
+	var snapFallbacks atomic.Uint64
 	base := eng.Stats()
 	readPct := cfg.readPct()
+	snapshot := cfg.Snapshot
 	txns, el, lh := drive(cfg.threads(), cfg.dur(), cfg.Latency, func(tid int) func() uint64 {
 		tx := eng.NewWorker(tid)
-		src := mrand.New(mrand.NewSource(int64(cfg.seed()) + int64(tid)))
-		zipf := mrand.NewZipf(src, cfg.zipfS(), 1, keys-1)
+		// math/rand/v2 PCG, like workqueue/transfer: seeded straight from
+		// the uint64 (Seed, tid) pair, so a Seed near MaxInt64 can't
+		// overflow the int64 cast the legacy source needed.
+		rng := rand.New(rand.NewPCG(cfg.seed(), uint64(tid)+1))
+		zipf := rand.NewZipf(rng, cfg.zipfS(), 1, keys-1)
 		var vseq uint64
 		return func() uint64 {
 			k := zipf.Uint64()
-			if src.Intn(100) < readPct {
-				// Lookup: cheap read-only probe first.
+			if rng.IntN(100) < readPct {
+				// Lookup: cheap read-only probe first — a validation-free
+				// MVCC snapshot in -snapshot mode (falling back to the OCC
+				// read if the engine can't, counted so conformance can
+				// assert the fallback never fires on CapSnapshot engines).
 				var ok bool
-				tx.RunRead(func() { _, ok = cache.Get(tx, k) })
+				probe := func() { _, ok = cache.Get(tx, k) }
+				if snapshot {
+					if !txengine.SnapshotRead(tx, probe) {
+						snapFallbacks.Add(1)
+						tx.RunRead(probe)
+					}
+				} else {
+					tx.RunRead(probe)
+				}
 				if ok {
 					hits.Add(1)
 					return 1
@@ -128,6 +144,9 @@ func runCache(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, erro
 			{"errors", conflictsLost.Load()},
 			{"stale", stale},
 		},
+	}
+	if snapshot {
+		res.Aux = append(res.Aux, AuxCount{"snapfallback", snapFallbacks.Load()})
 	}
 	res.attachLatency(lh)
 	return res, nil

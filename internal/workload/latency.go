@@ -18,7 +18,11 @@ type latHist struct {
 	count   uint64
 }
 
-func (h *latHist) record(d time.Duration) {
+func (h *latHist) record(d time.Duration) { h.recordN(d, 1) }
+
+// recordN records one duration with weight c: an iteration that completed c
+// transactions contributes c per-transaction samples at its latency.
+func (h *latHist) recordN(d time.Duration, c uint64) {
 	n := uint64(d)
 	if n == 0 {
 		n = 1
@@ -30,8 +34,8 @@ func (h *latHist) record(d time.Duration) {
 	} else {
 		sub = n & (1<<latSubBits - 1)
 	}
-	h.buckets[e<<latSubBits|uint(sub)]++
-	h.count++
+	h.buckets[e<<latSubBits|uint(sub)] += c
+	h.count += c
 }
 
 func (h *latHist) merge(o *latHist) {

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"medley/internal/txengine"
+)
+
+// TestValidateZipfS pins the Config.Validate rejection: a Zipf exponent in
+// (0, 1] used to fall back silently (transfer to uniform draws, cache to the
+// default skew), invalidating any -zipf sweep without a word.
+func TestValidateZipfS(t *testing.T) {
+	for _, s := range []float64{0.5, 1.0, 0.0001} {
+		if err := (Config{ZipfS: s}).Validate(); err == nil {
+			t.Errorf("ZipfS=%g passed Validate", s)
+		}
+		if _, err := Run("transfer", "medley", Config{Threads: 2, Dur: 10 * time.Millisecond, ZipfS: s}); err == nil {
+			t.Errorf("ZipfS=%g passed Run", s)
+		}
+	}
+	for _, s := range []float64{0, 1.2, 3} {
+		if err := (Config{ZipfS: s}).Validate(); err != nil {
+			t.Errorf("ZipfS=%g rejected: %v", s, err)
+		}
+	}
+}
+
+// TestSnapshotGate: -snapshot on an engine without CapSnapshot must fail
+// fast with ErrUnsupported, like the CanRun gates.
+func TestSnapshotGate(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Snapshot = true
+	_, err := Run("cache", "onefile", cfg)
+	if !errors.Is(err, txengine.ErrUnsupported) {
+		t.Fatalf("snapshot on onefile returned %v, want ErrUnsupported", err)
+	}
+}
+
+// TestSnapshotCacheSmoke runs the headline configuration — the cache
+// scenario at 95% reads with snapshot probes — on the Medley family and
+// asserts the bugfix's observable contract: snapshot reads happened, none
+// fell back to OCC, none were served torn (the stale audit), and the cache
+// invariants still hold.
+func TestSnapshotCacheSmoke(t *testing.T) {
+	for _, engine := range []string{"medley", "txmontage", "medley-sharded", "txmontage-sharded"} {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			cfg := smokeConfig()
+			cfg.ReadPct = 95
+			cfg.Snapshot = true
+			res, err := Run("cache", engine, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.SnapshotReads == 0 {
+				t.Fatalf("no snapshot reads counted: %+v", res.Stats)
+			}
+			if n := res.AuxN("snapfallback"); n != 0 {
+				t.Errorf("snapfallback=%d on a CapSnapshot engine (%s)", n, res.AuxString())
+			}
+			if n := res.AuxN("stale"); n != 0 {
+				t.Errorf("stale=%d cache entries (%s)", n, res.AuxString())
+			}
+			if res.AuxN("hits")+res.AuxN("misses") == 0 {
+				t.Errorf("cache made no lookups: %s", res.AuxString())
+			}
+		})
+	}
+}
+
+// TestLatHistWeighting pins the drive() latency fix: an iteration that
+// completed c transactions contributes c samples (so multi-transaction
+// iterations don't undercount) and zero-count iterations contribute none.
+func TestLatHistWeighting(t *testing.T) {
+	h := &latHist{}
+	h.recordN(time.Millisecond, 3)
+	h.recordN(time.Second, 0) // a lost conflict: no transactions completed
+	h.record(2 * time.Millisecond)
+	if h.count != 4 {
+		t.Fatalf("count = %d, want 4 (3 weighted + 1 single + 0 skipped)", h.count)
+	}
+	// The 3-weighted 1ms samples dominate: the median must sit in the 1ms
+	// bucket, not anywhere near the zero-weight 1s outlier.
+	if p := h.percentile(0.50); p > 2*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~1ms (weighting broken)", p)
+	}
+	if p := h.percentile(0.99); p > 4*time.Millisecond {
+		t.Fatalf("p99 = %v: the zero-count 1s iteration leaked in", p)
+	}
+}

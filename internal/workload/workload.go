@@ -67,6 +67,14 @@ type Config struct {
 	// Scale). Fewer accounts mean hotter contention.
 	Accounts int
 
+	// Snapshot serves the cache scenario's read-only probes through
+	// txengine.SnapshotRead — validation-free MVCC reads at a consistent
+	// cut that never abort or restart — instead of OCC RunRead
+	// transactions. Requires an engine with txengine.CapSnapshot (Run
+	// rejects others, like CanRun gates). The A/B control for measuring
+	// what read validation costs a read-mostly mix.
+	Snapshot bool
+
 	// Latency enables latency percentiles (Result.P50 and P99), at the
 	// cost of two clock reads per iteration. One iteration is one logical
 	// scenario transaction; on some paths (a cache miss's probe + refill)
@@ -80,6 +88,18 @@ type Config struct {
 	// measures the bare discovery path. No-ops on non-sharded engines
 	// either way.
 	NoHints bool
+}
+
+// Validate rejects configurations that would otherwise be silently
+// reinterpreted. The one current case: a Zipf exponent in (0, 1] — Go's
+// rand.NewZipf requires s > 1, so the transfer scenario used to fall back
+// to uniform draws and the cache scenario to its default skew without a
+// word, which silently invalidates any measurement sweep over -zipf.
+func (c Config) Validate() error {
+	if c.ZipfS > 0 && c.ZipfS <= 1 {
+		return fmt.Errorf("workload: ZipfS must be > 1.0 (got %g); the Zipf distribution is undefined at s <= 1 and draws would silently fall back", c.ZipfS)
+	}
+	return nil
 }
 
 func (c Config) threads() int {
@@ -266,6 +286,12 @@ func Run(scenario, engine string, cfg Config) (Result, error) {
 	if err := sc.CanRun(b); err != nil {
 		return Result{}, err
 	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Snapshot && !b.Caps.Has(txengine.CapSnapshot) {
+		return Result{}, fmt.Errorf("workload: engine %q cannot serve snapshot reads (needs CapSnapshot): %w", engine, txengine.ErrUnsupported)
+	}
 	eng, err := b.New(txengine.Config{Latencies: cfg.Latencies, EpochLen: cfg.EpochLen, Shards: cfg.Shards, NoLatch: cfg.NoLatch})
 	if err != nil {
 		return Result{}, err
@@ -328,8 +354,16 @@ func drive(threads int, dur time.Duration, lat bool, newWorker func(tid int) fun
 			if lat {
 				for !stop.Load() {
 					t0 := time.Now()
-					n += iter()
-					h.record(time.Since(t0))
+					c := iter()
+					// Weight the sample by the iteration's transaction count
+					// and skip empty iterations (audit sweeps, lost
+					// conflicts): the percentiles are per *transaction*, and
+					// an iteration that completed several (or none) would
+					// otherwise skew them.
+					if c > 0 {
+						h.recordN(time.Since(t0), c)
+					}
+					n += c
 				}
 			} else {
 				for !stop.Load() {

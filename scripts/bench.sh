@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
-# bench.sh — run the sharded-runtime hot-path microbenchmark suite and emit
-# a machine-readable JSON result file (default BENCH_6.json at the repo
+# bench.sh — run the txengine hot-path microbenchmark suite and emit a
+# machine-readable JSON result file (default BENCH_7.json at the repo
 # root), establishing the repository's perf trajectory across PRs.
 #
 # Usage:
 #   scripts/bench.sh [out.json]
 #   BENCHTIME=2s COUNT=3 scripts/bench.sh    # longer, repeated runs
 #
-# The suite lives in internal/txengine/sharded_bench_test.go: key routing,
-# single-shard commit fast path, cross-shard commit via discovery vs hints
-# (latched) vs the NoLatch shard-locked control, the latch table's
-# uncontended and contended paths, and the footprint cache's hit and miss
-# paths.
+# The suite lives in internal/txengine/: the sharded-runtime hot paths
+# (key routing, single-shard commit fast path, cross-shard commit via
+# discovery vs hints vs the NoLatch control, latch table, footprint cache)
+# plus the PR 7 OCC-read vs snapshot-read pair (BenchmarkReadMostly*): the
+# same 95/5 mix with read probes as validated OCC read-only transactions vs
+# validation-free MVCC snapshot reads. The JSON also records a cache
+# workload A/B at -readpct 95 — OCC control vs -snapshot — with the stats
+# that certify snapshot reads never abort or restart.
 #
 # Committed BENCH_N.json files for earlier PRs are history, not scratch
 # space: writing over one would silently rewrite the perf trajectory, so the
@@ -20,10 +23,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pr=6
+pr=7
 out="${1:-BENCH_${pr}.json}"
 benchtime="${BENCHTIME:-0.5s}"
 count="${COUNT:-1}"
+abdur="${ABDUR:-1s}"
 
 # Refuse to clobber a committed BENCH_N.json belonging to an earlier PR.
 if [[ "$(basename "$out")" =~ ^BENCH_([0-9]+)\.json$ ]]; then
@@ -35,7 +39,7 @@ if [[ "$(basename "$out")" =~ ^BENCH_([0-9]+)\.json$ ]]; then
 fi
 
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+trap 'rm -f "$raw" "$raw.results" "$raw.ab"' EXIT
 
 go test -run '^$' -bench '.' -benchmem -benchtime "$benchtime" -count "$count" \
   ./internal/txengine/ | tee "$raw"
@@ -51,9 +55,29 @@ awk '
   }
 ' "$raw" > "$raw.results"
 
+# Cache workload A/B: the same read-mostly mix through OCC read-only
+# transactions and through MVCC snapshot reads. Row columns (no -lat):
+# 1 system, 2 threads, 3 txn/s, 4 commits, 5 aborts, 6 retries, ...,
+# 13 snapread, 14 snapstale.
+run_cache() { # $1 = extra flags, $2 = mode label
+  go run ./cmd/medleybench -workload cache -systems medley-sharded -shards 4 \
+    -threads 4 -dur "$abdur" -scale 0.05 -readpct 95 $1 |
+  awk -v mode="$2" '
+    $2 ~ /^[0-9]+$/ && $1 != "system" {
+      printf "    {\"mode\": \"%s\", \"system\": \"%s\", \"threads\": %s, \"txn_per_s\": %s, \"commits\": %s, \"aborts\": %s, \"retries\": %s, \"snapshot_reads\": %s, \"snapshot_stale\": %s}", mode, $1, $2, $3, $4, $5, $6, $13, $14
+      exit
+    }'
+}
+
+echo "# cache A/B (readpct 95, medley-sharded sh4): OCC control vs -snapshot"
+{
+  run_cache "" occ; echo ','
+  run_cache "-snapshot" snapshot; echo
+} > "$raw.ab"
+
 {
   echo '{'
-  echo '  "suite": "internal/txengine sharded-runtime hot-path microbenchmarks",'
+  echo '  "suite": "internal/txengine hot-path microbenchmarks + OCC-vs-snapshot read pair",'
   echo "  \"pr\": $pr,"
   echo "  \"go\": \"$(go env GOVERSION)\","
   echo "  \"host_cpus\": $(getconf _NPROCESSORS_ONLN),"
@@ -64,9 +88,11 @@ awk '
   echo "  \"cpu\": \"${cpu}\","
   echo '  "results": ['
   cat "$raw.results"; echo
+  echo '  ],'
+  echo '  "snapshot_cache_ab": ['
+  cat "$raw.ab"
   echo '  ]'
   echo '}'
 } > "$out"
-rm -f "$raw.results"
 
 echo "wrote $out"
