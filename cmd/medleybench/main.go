@@ -48,6 +48,7 @@ func main() {
 	list := flag.Bool("list", false, "list registered engines and exit")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default: host sweep)")
 	dur := flag.Duration("dur", 2*time.Second, "measurement duration per point")
+	warmup := flag.Duration("warmup", 0, "workloads: ramp-up before measurement; warm-up samples are discarded from txn/s and the latency percentiles")
 	scale := flag.Float64("scale", 0.1, "keyspace scale (1.0 = paper's 1M keys)")
 	epochLen := flag.Duration("epoch", 10*time.Millisecond, "txMontage epoch length")
 	shards := flag.Int("shards", 0, "shard count for sharded engines (0: engine default); sweep by invoking once per count")
@@ -97,7 +98,7 @@ func main() {
 			rp = *readPct
 		}
 		cfg := workload.Config{
-			Dur: *dur, Scale: *scale,
+			Dur: *dur, Warmup: *warmup, Scale: *scale,
 			Latencies: pnvm.DefaultLatencies(), EpochLen: *epochLen,
 			Shards: *shards, NoLatch: *noLatch, ZipfS: *zipfS, ReadPct: rp,
 			Accounts: *accounts, Latency: *lat, NoHints: *noHints,

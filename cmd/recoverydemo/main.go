@@ -124,6 +124,12 @@ func main() {
 	}
 	tx2 := eng2.NewWorker(0)
 
+	// Two audits gate the exit status. Conservation alone would pass
+	// vacuously if the whole synced transfer were lost (opening balances
+	// also sum right), so the durable-frontier audit additionally pins each
+	// account to one of its two legitimate post-sync states: the synced
+	// transfer applied, with the unsynced one either present or absent —
+	// never rolled back past the sync.
 	ok = true
 	for a := uint64(0); a < *accounts; a++ {
 		c, ok1 := rm.Get(tx2, checkingKey(a))
@@ -138,13 +144,23 @@ func main() {
 			ok = false
 			continue
 		}
-		fmt.Printf("account %v: checking+savings = %v+%v = %v ✓\n", a, c, s, 2*opening)
+		amt := 100 * (a%5 + 1) // the synced transfer's amount (see above)
+		switch c {
+		case opening - amt:
+			fmt.Printf("account %v: checking+savings = %v+%v = %v ✓ (synced transfer durable, unsynced dropped)\n", a, c, s, 2*opening)
+		case opening - amt - 50:
+			fmt.Printf("account %v: checking+savings = %v+%v = %v ✓ (both transfers survived)\n", a, c, s, 2*opening)
+		default:
+			fmt.Printf("account %v: checking %v is neither post-sync state (%v or %v) — a SYNCED transfer was lost\n",
+				a, c, opening-amt, opening-amt-50)
+			ok = false
+		}
 	}
-	if ok {
-		fmt.Println("recovered state is a consistent epoch-boundary cut (BDSS holds)")
-	} else {
+	if !ok {
+		fmt.Fprintln(os.Stderr, "recovery audit FAILED")
 		os.Exit(1)
 	}
+	fmt.Println("recovered state is a consistent epoch-boundary cut (BDSS holds)")
 }
 
 func must(err error) {

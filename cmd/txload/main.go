@@ -1,0 +1,272 @@
+// Command txload drives a txserver over the internal/server wire protocol
+// and reports end-to-end throughput and latency percentiles, reusing the
+// same HDR histogram machinery as the in-process -lat tables so the numbers
+// stay comparable.
+//
+// Each TCP connection is driven by one goroutine keeping a fixed window of
+// requests in flight (closed loop). The window is -pipeline per connection,
+// or -clients spread across the connections when set (so "-clients 1024
+// -conns 128" models 1024 logical closed-loop clients on 128 pipelined
+// connections). -rate switches to an open loop: requests are injected at a
+// fixed aggregate rate, decoupled from completions, up to the window (at
+// saturation the window caps injection and the server's RETRY shedding
+// becomes visible in the counts). The op mix is -readpct Gets against Puts,
+// keys drawn uniformly or Zipf-skewed; -warmup discards ramp-up samples
+// from the histograms and counts.
+//
+// Exits non-zero if the server acknowledged nothing (a smoke-test guard).
+//
+// Examples:
+//
+//	txload -conns 64 -pipeline 8 -dur 2s
+//	txload -conns 1024 -pipeline 8 -readpct 90 -zipf 1.2 -lat
+//	txload -clients 1024 -conns 128 -warmup 1s -dur 5s -lat -json
+//	txload -rate 50000 -conns 64 -pipeline 16 -lat   # open loop
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sync"
+	"time"
+
+	"medley/internal/server"
+	"medley/internal/workload"
+)
+
+type counts struct {
+	ok, retry, draining, aborted, errs uint64
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7433", "txserver address")
+	conns := flag.Int("conns", 64, "TCP connections (one driver goroutine each)")
+	clients := flag.Int("clients", 0, "total closed-loop clients spread across the connections (0: -pipeline per connection)")
+	pipeline := flag.Int("pipeline", 1, "requests in flight per connection when -clients is 0")
+	readPct := flag.Int("readpct", 90, "percentage of Gets (the rest are Puts)")
+	zipfS := flag.Float64("zipf", 0, "Zipf key-skew exponent (>1.0; 0: uniform)")
+	keys := flag.Uint64("keys", 100_000, "keyspace size")
+	dur := flag.Duration("dur", 2*time.Second, "measurement duration")
+	warmup := flag.Duration("warmup", 0, "ramp-up before measurement; its samples are discarded")
+	rate := flag.Int("rate", 0, "open loop: aggregate target requests/s (0: closed loop)")
+	seed := flag.Uint64("seed", 1, "rng seed")
+	lat := flag.Bool("lat", false, "record per-request latency (p50/p99)")
+	jsonOut := flag.Bool("json", false, "emit one JSON result object instead of text")
+	flag.Parse()
+
+	if *conns < 1 || *pipeline < 1 || *clients < 0 || *readPct < 0 || *readPct > 100 {
+		fmt.Fprintln(os.Stderr, "bad flags: want -conns>=1, -pipeline>=1, -clients>=0, -readpct 0-100")
+		os.Exit(2)
+	}
+	if *zipfS != 0 && *zipfS <= 1 {
+		fmt.Fprintln(os.Stderr, "bad -zipf: the skew exponent must be > 1.0 (or 0 for uniform)")
+		os.Exit(2)
+	}
+
+	// Per-connection windows: -clients distributed as evenly as possible,
+	// or -pipeline everywhere.
+	windows := make([]int, *conns)
+	for i := range windows {
+		windows[i] = *pipeline
+	}
+	if *clients > 0 {
+		for i := range windows {
+			windows[i] = *clients / *conns
+			if i < *clients%*conns {
+				windows[i]++
+			}
+		}
+	}
+
+	var (
+		mu     sync.Mutex
+		total  counts
+		merged workload.Hist
+		wg     sync.WaitGroup
+	)
+	start := time.Now()
+	measureStart := start.Add(*warmup)
+	deadline := start.Add(*warmup + *dur)
+	for i := 0; i < *conns; i++ {
+		if windows[i] == 0 {
+			continue // more conns than clients: this one stays idle
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, h, got := drive(*addr, windows[i], i, *readPct, *zipfS, *keys,
+				*seed, *rate / *conns, *lat, measureStart, deadline)
+			mu.Lock()
+			total.ok += got.ok
+			total.retry += got.retry
+			total.draining += got.draining
+			total.aborted += got.aborted
+			total.errs += got.errs
+			if h != nil {
+				merged.Merge(h)
+			}
+			mu.Unlock()
+			if c != nil {
+				c.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	el := time.Since(measureStart)
+	if el > *dur {
+		el = *dur // workers stop sending at the deadline; don't bill the tail drain
+	}
+
+	tput := float64(total.ok) / el.Seconds()
+	p50, p99 := merged.Percentile(0.50), merged.Percentile(0.99)
+	if *jsonOut {
+		out := map[string]any{
+			"conns": *conns, "clients": *clients, "pipeline": *pipeline,
+			"readpct": *readPct, "zipf": *zipfS, "rate": *rate,
+			"ok": total.ok, "retry": total.retry, "draining": total.draining,
+			"aborted": total.aborted, "errors": total.errs,
+			"secs": el.Seconds(), "throughput": tput,
+		}
+		if *lat {
+			out["p50_us"] = float64(p50) / 1e3
+			out["p99_us"] = float64(p99) / 1e3
+		}
+		json.NewEncoder(os.Stdout).Encode(out)
+	} else {
+		fmt.Printf("txload: %d conns, ok=%d retry=%d draining=%d aborted=%d errors=%d in %.2fs — %.0f req/s",
+			*conns, total.ok, total.retry, total.draining, total.aborted, total.errs, el.Seconds(), tput)
+		if *lat {
+			fmt.Printf(" p50=%v p99=%v", p50, p99)
+		}
+		fmt.Println()
+	}
+	if total.ok == 0 {
+		fmt.Fprintln(os.Stderr, "txload: zero acknowledged requests")
+		os.Exit(1)
+	}
+}
+
+// drive runs one connection's closed- or open-loop window until the
+// deadline. Responses arrive in request order (a server guarantee), so
+// latency matching is a FIFO of send timestamps. Samples and counts before
+// measureStart are discarded; a sample belongs to the measured window if
+// its REQUEST was sent inside it.
+func drive(addr string, window, tid, readPct int, zipfS float64, keys, seed uint64,
+	connRate int, lat bool, measureStart, deadline time.Time) (*server.Conn, *workload.Hist, counts) {
+	var got counts
+	c, err := server.Dial(addr, 5*time.Second)
+	if err != nil {
+		got.errs++
+		return nil, nil, got
+	}
+	rng := rand.New(rand.NewPCG(seed, uint64(tid)+1))
+	draw := func() uint64 { return rng.Uint64N(keys) }
+	if zipfS > 1 {
+		z := rand.NewZipf(rng, zipfS, 1, keys-1)
+		draw = z.Uint64
+	}
+	var h *workload.Hist
+	if lat {
+		h = &workload.Hist{}
+	}
+
+	// FIFO of send timestamps for the in-flight window (zero time: sent
+	// during warm-up, discard its sample).
+	stamps := make([]time.Time, 0, window)
+	send := func(now time.Time) {
+		k := draw()
+		if rng.IntN(100) < readPct {
+			c.SendGet(k)
+		} else {
+			c.SendPut(k, k*3+1)
+		}
+		if lat && !now.Before(measureStart) {
+			stamps = append(stamps, now)
+		} else {
+			stamps = append(stamps, time.Time{})
+		}
+	}
+	recv := func() bool {
+		r, err := c.Recv()
+		now := time.Now()
+		t0 := stamps[0]
+		stamps = stamps[:copy(stamps, stamps[1:])]
+		if err != nil {
+			got.errs++
+			return false
+		}
+		measured := !t0.IsZero() || (!lat && !now.Before(measureStart))
+		if !measured {
+			return true
+		}
+		if lat && r.Status == server.StatusOK {
+			h.Record(now.Sub(t0))
+		}
+		switch r.Status {
+		case server.StatusOK:
+			got.ok++
+		case server.StatusRetry:
+			got.retry++
+		case server.StatusDraining:
+			got.draining++
+		case server.StatusAborted:
+			got.aborted++
+		default:
+			got.errs++
+		}
+		return r.Status != server.StatusDraining
+	}
+
+	// Open-loop pacing: this connection's share of the aggregate rate.
+	var interval time.Duration
+	next := time.Now()
+	if connRate > 0 {
+		interval = time.Duration(int64(time.Second) / int64(connRate))
+	}
+	for {
+		now := time.Now()
+		if !now.Before(deadline) {
+			break
+		}
+		sent := false
+		for len(stamps) < window {
+			if interval > 0 {
+				if now.Before(next) {
+					break
+				}
+				next = next.Add(interval)
+			}
+			send(now)
+			sent = true
+			if interval == 0 && len(stamps) < window {
+				now = time.Now() // keep closed-loop stamps honest while filling
+			}
+		}
+		if sent {
+			if err := c.Flush(); err != nil {
+				got.errs++
+				return c, h, got
+			}
+		}
+		if len(stamps) == 0 {
+			// Open loop, ahead of schedule: sleep until the next injection.
+			time.Sleep(time.Until(next))
+			continue
+		}
+		if !recv() {
+			return c, h, got
+		}
+	}
+	// Deadline passed: drain what's still in flight so the server isn't left
+	// writing into a closed connection, but record nothing more.
+	for len(stamps) > 0 {
+		if _, err := c.Recv(); err != nil {
+			break
+		}
+		stamps = stamps[1:]
+	}
+	return c, h, got
+}

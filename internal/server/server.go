@@ -1,0 +1,518 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"medley/internal/txengine"
+)
+
+// Options tunes a Server. The zero value is serviceable: coalescing on,
+// admission sized to the host, a half-second drain grace.
+type Options struct {
+	// BatchMax is the most adjacent single-op requests (OpGet/OpPut) from
+	// one connection the scheduler coalesces into a single hinted
+	// transaction (0: DefaultBatchMax; 1: coalescing off). Coalescing
+	// amortizes admission, scheduling, and commit overhead across the
+	// batch; because members come from one connection's FIFO, program
+	// order per connection is preserved.
+	BatchMax int
+	// Tokens is the admission controller's token count: the number of
+	// request batches allowed to execute on the engine concurrently
+	// (0: 4×GOMAXPROCS). Requests beyond it wait up to AdmitWait and are
+	// then shed with StatusRetry — bounded queueing instead of collapse.
+	Tokens int
+	// AdmitWait is how long a batch may wait for an admission token before
+	// being shed (0: DefaultAdmitWait; negative: shed immediately).
+	AdmitWait time.Duration
+	// QueueDepth is the per-connection decoded-request queue — the server
+	// side of the pipelining window (0: DefaultQueueDepth). A full queue
+	// blocks the connection's reader, pushing back on the client through
+	// TCP flow control rather than buffering unboundedly.
+	QueueDepth int
+	// DrainGrace bounds how long Drain waits for each connection's
+	// in-flight requests (0: DefaultDrainGrace). Requests arriving after
+	// drain begins are rejected with StatusDraining.
+	DrainGrace time.Duration
+	// MapSpec shapes the hosted map (zero: hash, 1<<16 buckets). Recovery
+	// flows must rebuild with the same spec.
+	MapSpec txengine.MapSpec
+	// CloseEngine closes the engine after Drain completes. Leave false
+	// when the caller owns the engine (tests that crash and recover it).
+	CloseEngine bool
+}
+
+// Option defaults.
+const (
+	DefaultBatchMax   = 16
+	DefaultAdmitWait  = 2 * time.Millisecond
+	DefaultQueueDepth = 128
+	DefaultDrainGrace = 500 * time.Millisecond
+)
+
+func (o Options) batchMax() int {
+	if o.BatchMax > 0 {
+		return o.BatchMax
+	}
+	return DefaultBatchMax
+}
+
+func (o Options) tokens() int {
+	if o.Tokens > 0 {
+		return o.Tokens
+	}
+	return 4 * runtime.GOMAXPROCS(0)
+}
+
+func (o Options) queueDepth() int {
+	if o.QueueDepth > 0 {
+		return o.QueueDepth
+	}
+	return DefaultQueueDepth
+}
+
+func (o Options) admitWait() time.Duration {
+	if o.AdmitWait != 0 {
+		return o.AdmitWait
+	}
+	return DefaultAdmitWait
+}
+
+func (o Options) drainGrace() time.Duration {
+	if o.DrainGrace > 0 {
+		return o.DrainGrace
+	}
+	return DefaultDrainGrace
+}
+
+func (o Options) mapSpec() txengine.MapSpec {
+	if o.MapSpec == (txengine.MapSpec{}) {
+		return txengine.MapSpec{Kind: txengine.KindHash, Buckets: 1 << 16}
+	}
+	return o.MapSpec
+}
+
+// Counters are the server-level counters (the engine's transactional
+// counters stay on Engine.Stats).
+type Counters struct {
+	Conns      uint64 // connections accepted
+	Requests   uint64 // requests decoded
+	Shed       uint64 // requests shed with StatusRetry (admission)
+	Drained    uint64 // requests rejected with StatusDraining
+	Batches    uint64 // coalesced multi-op batches executed
+	BatchedOps uint64 // single-op requests executed inside those batches
+}
+
+// Server serves the wire protocol over one hosted transactional map on one
+// engine. Each connection gets a dedicated engine session (Tx handle) and a
+// FIFO request queue; responses are written in request order.
+type Server struct {
+	eng  txengine.Engine
+	m    txengine.Map[uint64]
+	opts Options
+
+	tokens   chan struct{}
+	draining atomic.Bool
+	doneCh   chan struct{}
+	drainOne sync.Once
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+
+	nextTid atomic.Int64
+
+	cConns, cRequests, cShed, cDrained, cBatches, cBatchedOps atomic.Uint64
+}
+
+// New builds a server over eng, creating the hosted map from opts.MapSpec.
+// The engine must support dynamic transactions: OpTxn reads feed TxnAdd
+// arithmetic, and coalesced batches return real in-transaction values.
+func New(eng txengine.Engine, opts Options) (*Server, error) {
+	if !eng.Caps().Has(txengine.CapTx | txengine.CapDynamicTx) {
+		return nil, fmt.Errorf("server: engine %s needs dynamic transactions: %w", eng.Name(), txengine.ErrUnsupported)
+	}
+	m, err := eng.NewUintMap(opts.mapSpec())
+	if err != nil {
+		return nil, fmt.Errorf("server: hosted map: %w", err)
+	}
+	s := &Server{
+		eng:    eng,
+		m:      m,
+		opts:   opts,
+		tokens: make(chan struct{}, opts.tokens()),
+		doneCh: make(chan struct{}),
+		conns:  map[net.Conn]struct{}{},
+	}
+	for i := 0; i < opts.tokens(); i++ {
+		s.tokens <- struct{}{}
+	}
+	return s, nil
+}
+
+// Map exposes the hosted map (recovery audits read through it in-process).
+func (s *Server) Map() txengine.Map[uint64] { return s.m }
+
+// Engine exposes the served engine.
+func (s *Server) Engine() txengine.Engine { return s.eng }
+
+// Counters snapshots the server-level counters.
+func (s *Server) Counters() Counters {
+	return Counters{
+		Conns:      s.cConns.Load(),
+		Requests:   s.cRequests.Load(),
+		Shed:       s.cShed.Load(),
+		Drained:    s.cDrained.Load(),
+		Batches:    s.cBatches.Load(),
+		BatchedOps: s.cBatchedOps.Load(),
+	}
+}
+
+// Serve accepts connections on ln until Drain (returns nil) or a listener
+// failure (returns the error).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		// Registration is under the same lock Drain flips the flag under,
+		// so every connection either registers before the drain critical
+		// section (and gets its I/O deadline set there) or observes
+		// draining here and is turned away.
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
+		s.wg.Add(1)
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.cConns.Add(1)
+		go s.handle(c)
+	}
+}
+
+// Drain gracefully shuts the server down: stop accepting, reject requests
+// that arrive from now on with StatusDraining, let every connection finish
+// the requests it already pipelined (bounded by DrainGrace), then make the
+// engine durable (Persister.Sync) so every acknowledged commit survives a
+// subsequent crash, and close it if Options.CloseEngine. Safe to call from
+// any goroutine and more than once; every call blocks until the drain
+// completes.
+func (s *Server) Drain() {
+	s.drainOne.Do(func() {
+		s.mu.Lock()
+		s.draining.Store(true)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		deadline := time.Now().Add(s.opts.drainGrace())
+		for c := range s.conns {
+			c.SetDeadline(deadline)
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+		if p, ok := s.eng.(txengine.Persister); ok && len(p.Devices()) > 0 {
+			p.Sync()
+		}
+		if s.opts.CloseEngine {
+			s.eng.Close()
+		}
+		close(s.doneCh)
+	})
+	<-s.doneCh
+}
+
+// pendReq is one decoded request in a connection's queue. shed marks
+// requests that arrived after drain began: they flow through the processor
+// (preserving response order) but are answered StatusDraining unexecuted.
+type pendReq struct {
+	req  Request
+	shed bool
+}
+
+func (s *Server) handle(c net.Conn) {
+	defer s.wg.Done()
+	defer c.Close()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	queue := make(chan pendReq, s.opts.queueDepth())
+	go s.readLoop(c, queue)
+	s.procLoop(c, queue)
+}
+
+// readLoop decodes frames into the connection's queue. Any read or decode
+// error ends the connection's input (the processor still answers everything
+// already queued); a full queue blocks here, which backpressures the client
+// through TCP flow control.
+func (s *Server) readLoop(c net.Conn, queue chan<- pendReq) {
+	defer close(queue)
+	br := bufio.NewReaderSize(c, 64<<10)
+	var buf []byte
+	for {
+		body, err := ReadFrame(br, buf)
+		if err != nil {
+			return
+		}
+		buf = body
+		req, err := DecodeRequest(body)
+		if err != nil {
+			return
+		}
+		s.cRequests.Add(1)
+		queue <- pendReq{req: req, shed: s.draining.Load()}
+	}
+}
+
+// procLoop is the connection's processor: it dequeues requests, coalesces
+// adjacent single-ops into hinted transactions, runs them through admission
+// control on the connection's dedicated engine session, and writes responses
+// in request order. The output writer is flushed only when no request is
+// ready — pipelined bursts pay one syscall per burst, not per response.
+func (s *Server) procLoop(c net.Conn, queue <-chan pendReq) {
+	bw := bufio.NewWriterSize(c, 64<<10)
+	tx := s.eng.NewWorker(int(s.nextTid.Add(1)))
+	batchMax := s.opts.batchMax()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	var (
+		batch    []pendReq
+		keys     []uint64
+		results  []ReadResult
+		wbuf     []byte
+		leftover *pendReq
+		holdover pendReq
+	)
+	for {
+		var first pendReq
+		if leftover != nil {
+			first, leftover = *leftover, nil
+		} else {
+			// Nothing collected: flush buffered responses before blocking.
+			if bw.Buffered() > 0 {
+				if bw.Flush() != nil {
+					s.discard(queue)
+					return
+				}
+			}
+			var ok bool
+			if first, ok = <-queue; !ok {
+				return
+			}
+		}
+		batch = append(batch[:0], first)
+		closed := false
+		if !first.shed && first.req.Op != OpTxn && batchMax > 1 {
+		collect:
+			for len(batch) < batchMax {
+				select {
+				case r, ok := <-queue:
+					if !ok {
+						closed = true
+						break collect
+					}
+					if r.shed || r.req.Op == OpTxn {
+						holdover = r
+						leftover = &holdover
+						break collect
+					}
+					batch = append(batch, r)
+				default:
+					break collect
+				}
+			}
+		}
+		keys, results, wbuf = s.exec(tx, batch, timer, keys, results, wbuf)
+		if len(wbuf) > 0 {
+			if _, err := bw.Write(wbuf); err != nil {
+				s.discard(queue)
+				return
+			}
+			wbuf = wbuf[:0]
+		}
+		if closed {
+			bw.Flush()
+			return
+		}
+	}
+}
+
+// discard drains a connection's queue after its writer died, so the reader
+// (possibly blocked on a full queue) can observe its own error and exit.
+func (s *Server) discard(queue <-chan pendReq) {
+	for range queue {
+	}
+}
+
+// exec runs one batch — either a single request or several coalesced
+// single-ops — through admission control and appends the responses to wbuf.
+// The scratch slices are returned for reuse.
+func (s *Server) exec(tx txengine.Tx, batch []pendReq, timer *time.Timer, keys []uint64, results []ReadResult, wbuf []byte) ([]uint64, []ReadResult, []byte) {
+	if batch[0].shed {
+		s.cDrained.Add(uint64(len(batch)))
+		for i := range batch {
+			wbuf = AppendResponse(wbuf, &Response{ID: batch[i].req.ID, Op: batch[i].req.Op, Status: StatusDraining})
+		}
+		return keys, results, wbuf
+	}
+	// Admission: take a token, waiting at most admitWait; shed the whole
+	// batch with StatusRetry rather than queueing without bound.
+	select {
+	case <-s.tokens:
+	default:
+		wait := s.opts.admitWait()
+		if wait < 0 {
+			return keys, results, s.shed(batch, wbuf)
+		}
+		timer.Reset(wait)
+		select {
+		case <-s.tokens:
+			if !timer.Stop() {
+				<-timer.C
+			}
+		case <-timer.C:
+			return keys, results, s.shed(batch, wbuf)
+		}
+	}
+	var err error
+	if len(batch) == 1 {
+		if batch[0].req.Op == OpTxn {
+			results, err = s.execTxn(tx, &batch[0].req, keys[:0], results)
+		} else {
+			results = s.execSingle(tx, &batch[0].req, results)
+		}
+	} else {
+		results, err = s.execBatch(tx, batch, keys[:0], results)
+	}
+	s.tokens <- struct{}{}
+	switch {
+	case err == nil:
+		for i := range batch {
+			r := &batch[i].req
+			resp := Response{ID: r.ID, Op: r.Op, Status: StatusOK}
+			if r.Op == OpTxn {
+				resp.Reads = results
+			} else {
+				resp.Found, resp.Val = results[i].Found, results[i].Val
+			}
+			wbuf = AppendResponse(wbuf, &resp)
+		}
+	case errors.Is(err, txengine.ErrBusinessAbort):
+		for i := range batch {
+			wbuf = AppendResponse(wbuf, &Response{ID: batch[i].req.ID, Op: batch[i].req.Op, Status: StatusAborted})
+		}
+	default:
+		for i := range batch {
+			wbuf = AppendResponse(wbuf, &Response{ID: batch[i].req.ID, Op: batch[i].req.Op, Status: StatusErr, Err: err.Error()})
+		}
+	}
+	return keys, results, wbuf
+}
+
+func (s *Server) shed(batch []pendReq, wbuf []byte) []byte {
+	s.cShed.Add(uint64(len(batch)))
+	for i := range batch {
+		wbuf = AppendResponse(wbuf, &Response{ID: batch[i].req.ID, Op: batch[i].req.Op, Status: StatusRetry})
+	}
+	return wbuf
+}
+
+// execSingle runs one Get/Put as a standalone auto-committed operation —
+// the cheapest execution every engine offers.
+func (s *Server) execSingle(tx txengine.Tx, r *Request, results []ReadResult) []ReadResult {
+	results = results[:0]
+	if r.Op == OpGet {
+		v, ok := s.m.Get(tx, r.Key)
+		return append(results, ReadResult{Found: ok, Val: v})
+	}
+	prev, had := s.m.Put(tx, r.Key, r.Val)
+	return append(results, ReadResult{Found: had, Val: prev})
+}
+
+// execBatch coalesces adjacent single-ops from one connection into a single
+// transaction with every key pre-declared, so sharded engines lock the
+// batch's whole shard set (or latch exactly its keys) up front. One
+// admission token, one commit, one response flush for the whole batch.
+func (s *Server) execBatch(tx txengine.Tx, batch []pendReq, keys []uint64, results []ReadResult) ([]ReadResult, error) {
+	for i := range batch {
+		keys = append(keys, batch[i].req.Key)
+	}
+	txengine.HintKeys(tx, keys...)
+	results = results[:0]
+	err := tx.Run(func() error {
+		results = results[:0]
+		for i := range batch {
+			r := &batch[i].req
+			if r.Op == OpGet {
+				v, ok := s.m.Get(tx, r.Key)
+				results = append(results, ReadResult{Found: ok, Val: v})
+			} else {
+				prev, had := s.m.Put(tx, r.Key, r.Val)
+				results = append(results, ReadResult{Found: had, Val: prev})
+			}
+		}
+		return nil
+	})
+	if err == nil {
+		s.cBatches.Add(1)
+		s.cBatchedOps.Add(uint64(len(batch)))
+	}
+	return results, err
+}
+
+// execTxn runs one OpTxn atomically, keys pre-declared. TxnAdd underflow
+// business-aborts the whole transaction (StatusAborted to the client,
+// nothing applied).
+func (s *Server) execTxn(tx txengine.Tx, r *Request, keys []uint64, results []ReadResult) ([]ReadResult, error) {
+	for _, op := range r.Ops {
+		keys = append(keys, op.Key)
+	}
+	txengine.HintKeys(tx, keys...)
+	results = results[:0]
+	err := tx.Run(func() error {
+		results = results[:0]
+		for _, op := range r.Ops {
+			switch op.Kind {
+			case TxnRead:
+				v, ok := s.m.Get(tx, op.Key)
+				results = append(results, ReadResult{Found: ok, Val: v})
+			case TxnWrite:
+				s.m.Put(tx, op.Key, op.Arg)
+			case TxnAdd:
+				v, _ := s.m.Get(tx, op.Key)
+				delta := int64(op.Arg)
+				if delta < 0 && v < uint64(-delta) {
+					return tx.Abort()
+				}
+				s.m.Put(tx, op.Key, v+uint64(delta))
+			}
+		}
+		return nil
+	})
+	return results, err
+}

@@ -1,0 +1,364 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"medley/internal/txengine"
+)
+
+// startServer builds an engine + server and serves it on a loopback
+// listener, returning the server, its address, and a cleanup-registered
+// drain.
+func startServer(t *testing.T, engine string, cfg txengine.Config, opts Options) (*Server, string) {
+	t.Helper()
+	eng, err := txengine.Build(engine, cfg)
+	if err != nil {
+		t.Fatalf("build %s: %v", engine, err)
+	}
+	opts.CloseEngine = true
+	s, err := New(eng, opts)
+	if err != nil {
+		eng.Close()
+		t.Fatalf("server: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		eng.Close()
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	t.Cleanup(func() {
+		s.Drain()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return s, ln.Addr().String()
+}
+
+func dialT(t *testing.T, addr string) *Conn {
+	t.Helper()
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestServeBasicOps covers the three ops end to end on a sharded engine:
+// Get/Put round-trips, previous-value reporting, and a multi-op transaction
+// with reads, writes, and adds.
+func TestServeBasicOps(t *testing.T) {
+	_, addr := startServer(t, "medley-sharded", txengine.Config{Shards: 2}, Options{})
+	c := dialT(t, addr)
+
+	if r, err := c.Get(10); err != nil || !r.OK() || r.Found {
+		t.Fatalf("get missing key: %+v, %v", r, err)
+	}
+	if r, err := c.Put(10, 77); err != nil || !r.OK() || r.Found {
+		t.Fatalf("first put: %+v, %v", r, err)
+	}
+	if r, err := c.Put(10, 88); err != nil || !r.OK() || !r.Found || r.Val != 77 {
+		t.Fatalf("second put should report previous 77: %+v, %v", r, err)
+	}
+	if r, err := c.Get(10); err != nil || !r.OK() || !r.Found || r.Val != 88 {
+		t.Fatalf("get after put: %+v, %v", r, err)
+	}
+
+	// A transaction reading two keys, writing one, adding on another.
+	r, err := c.Txn([]TxnOp{
+		{Kind: TxnRead, Key: 10},
+		{Kind: TxnWrite, Key: 11, Arg: 5},
+		AddDelta(11, 0), // read-modify-write of the value written above
+		{Kind: TxnRead, Key: 12},
+	})
+	if err != nil || !r.OK() {
+		t.Fatalf("txn: %+v, %v", r, err)
+	}
+	if len(r.Reads) != 2 || !r.Reads[0].Found || r.Reads[0].Val != 88 || r.Reads[1].Found {
+		t.Fatalf("txn reads: %+v", r.Reads)
+	}
+	if r, err := c.Get(11); err != nil || !r.Found || r.Val != 5 {
+		t.Fatalf("txn write visible: %+v, %v", r, err)
+	}
+}
+
+// TestServeAddUnderflowAborts: a TxnAdd that would go negative rolls the
+// whole transaction back with StatusAborted.
+func TestServeAddUnderflowAborts(t *testing.T) {
+	_, addr := startServer(t, "medley", txengine.Config{}, Options{})
+	c := dialT(t, addr)
+
+	if r, err := c.Put(1, 5); err != nil || !r.OK() {
+		t.Fatalf("put: %+v, %v", r, err)
+	}
+	r, err := c.Txn([]TxnOp{AddDelta(1, -3)})
+	if err != nil || !r.OK() {
+		t.Fatalf("affordable add: %+v, %v", r, err)
+	}
+	r, err = c.Txn([]TxnOp{AddDelta(2, 100), AddDelta(1, -10)})
+	if err != nil || r.Status != StatusAborted {
+		t.Fatalf("underflow should abort: %+v, %v", r, err)
+	}
+	// Nothing from the aborted transaction applied — not even the first add.
+	if r, _ := c.Get(1); r.Val != 2 {
+		t.Fatalf("key 1 = %d after aborted txn, want 2", r.Val)
+	}
+	if r, _ := c.Get(2); r.Found {
+		t.Fatalf("key 2 leaked from aborted txn: %+v", r)
+	}
+}
+
+// TestServePipelining keeps a deep window of requests in flight on one
+// connection and checks responses come back in request order.
+func TestServePipelining(t *testing.T) {
+	_, addr := startServer(t, "medley-sharded", txengine.Config{Shards: 4}, Options{})
+	c := dialT(t, addr)
+
+	const n = 200
+	ids := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			ids = append(ids, c.SendPut(uint64(i), uint64(i)*3))
+		} else {
+			ids = append(ids, c.SendGet(uint64(i-1)))
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		r, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if r.ID != ids[i] {
+			t.Fatalf("response %d has id %d, want %d (out of order)", i, r.ID, ids[i])
+		}
+		if !r.OK() {
+			t.Fatalf("response %d status %d", i, r.Status)
+		}
+		if i%2 == 1 && (!r.Found || r.Val != uint64(i-1)*3) {
+			t.Fatalf("pipelined get %d: %+v, want %d", i, r, uint64(i-1)*3)
+		}
+	}
+}
+
+// TestServeBatchCoalescing pins a backlog behind the admission token, then
+// releases it: the processor must coalesce the queued single-ops into
+// hinted transactions while preserving per-connection program order.
+func TestServeBatchCoalescing(t *testing.T) {
+	s, addr := startServer(t, "medley-sharded", txengine.Config{Shards: 4},
+		Options{BatchMax: 8, Tokens: 1, AdmitWait: 5 * time.Second})
+	c := dialT(t, addr)
+
+	<-s.tokens // hold the only token: requests queue, nothing executes
+	const n = 32
+	for i := 0; i < n; i++ {
+		c.SendPut(uint64(i%4), uint64(i)) // rewrites: order violations would show
+	}
+	for i := 0; i < n; i++ {
+		c.SendGet(uint64(i % 4))
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the queue fill behind the token
+	s.tokens <- struct{}{}
+
+	for i := 0; i < n; i++ {
+		r, err := c.Recv()
+		if err != nil || !r.OK() {
+			t.Fatalf("put resp %d: %+v, %v", i, r, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		r, err := c.Recv()
+		if err != nil || !r.OK() {
+			t.Fatalf("get resp %d: %+v, %v", i, r, err)
+		}
+		// The last put to key k was value n-4+k.
+		want := uint64(n - 4 + i%4)
+		if !r.Found || r.Val != want {
+			t.Fatalf("get %d: got %d, want %d", i, r.Val, want)
+		}
+	}
+	if got := s.Counters(); got.Batches == 0 || got.BatchedOps < 2 {
+		t.Fatalf("no coalescing happened: %+v", got)
+	}
+}
+
+// TestServeAdmissionSheds holds the only token so the next request must
+// shed with StatusRetry — and succeed again once the token returns.
+func TestServeAdmissionSheds(t *testing.T) {
+	s, addr := startServer(t, "medley", txengine.Config{},
+		Options{Tokens: 1, AdmitWait: time.Millisecond})
+	c := dialT(t, addr)
+
+	<-s.tokens
+	r, err := c.Get(1)
+	if err != nil || r.Status != StatusRetry {
+		t.Fatalf("with token held: %+v, %v; want StatusRetry", r, err)
+	}
+	s.tokens <- struct{}{}
+	if r, err := c.Get(1); err != nil || !r.OK() {
+		t.Fatalf("after token returned: %+v, %v", r, err)
+	}
+	if got := s.Counters(); got.Shed == 0 {
+		t.Fatalf("shed not counted: %+v", got)
+	}
+}
+
+// TestServeDrainRejectsNew: requests sent after drain begins are answered
+// StatusDraining (when they arrive in the grace window) or the connection
+// closes; either way the drain completes and acknowledged work is kept.
+func TestServeDrainRejectsNew(t *testing.T) {
+	eng, err := txengine.Build("medley", txengine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(eng, Options{CloseEngine: true, DrainGrace: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	c, err := Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if r, err := c.Put(1, 1); err != nil || !r.OK() {
+		t.Fatalf("pre-drain put: %+v, %v", r, err)
+	}
+
+	go s.Drain()
+	for !s.draining.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	// Requests from here on must not execute. The server may already have
+	// closed the connection; a clean error is as acceptable as the
+	// explicit status.
+	sawDraining := false
+	for i := 0; i < 50; i++ {
+		r, err := c.Put(2, uint64(i))
+		if err != nil {
+			break
+		}
+		if r.Status == StatusDraining {
+			sawDraining = true
+			break
+		}
+		if r.OK() {
+			t.Fatalf("post-drain put executed: %+v", r)
+		}
+	}
+	s.Drain() // blocks until fully drained
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	_ = sawDraining // either rejection mode is correct; execution is not
+	// New connections are refused after drain.
+	if _, err := Dial(ln.Addr().String(), 0); err == nil {
+		t.Fatal("dial succeeded after drain")
+	}
+}
+
+// TestServeRejectsStaticEngine: engines without dynamic transactions cannot
+// host the server.
+func TestServeRejectsStaticEngine(t *testing.T) {
+	eng, err := txengine.Build("lftt", txengine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := New(eng, Options{}); err == nil {
+		t.Fatal("New accepted a static-transaction engine")
+	}
+}
+
+// TestServeManyConnections exercises concurrent connections with pipelined
+// mixed load — a miniature of the txload shape — and audits total
+// conservation through transfer transactions.
+func TestServeManyConnections(t *testing.T) {
+	s, addr := startServer(t, "medley-sharded", txengine.Config{Shards: 4},
+		Options{BatchMax: 8})
+	const conns = 16
+	const accounts = 64
+	const opening = uint64(1000)
+
+	// Fund the accounts.
+	c0 := dialT(t, addr)
+	for a := uint64(0); a < accounts; a++ {
+		if r, err := c0.Put(a, opening); err != nil || !r.OK() {
+			t.Fatalf("fund %d: %+v, %v", a, r, err)
+		}
+	}
+
+	errs := make(chan error, conns)
+	for w := 0; w < conns; w++ {
+		go func(w int) {
+			c, err := Dial(addr, time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 200; i++ {
+				from := uint64((w*7 + i) % accounts)
+				to := uint64((w*13 + i*3) % accounts)
+				r, err := c.Txn([]TxnOp{AddDelta(from, -10), AddDelta(to, 10)})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !r.OK() && r.Status != StatusAborted && r.Status != StatusRetry {
+					errs <- errFromStatus(r)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < conns; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sum := uint64(0)
+	for a := uint64(0); a < accounts; a++ {
+		r, err := c0.Get(a)
+		if err != nil || !r.OK() {
+			t.Fatalf("audit get %d: %+v, %v", a, r, err)
+		}
+		sum += r.Val
+	}
+	if want := accounts * opening; sum != want {
+		t.Fatalf("conservation violated: sum %d, want %d", sum, want)
+	}
+	if got := s.Counters(); got.Requests == 0 || got.Conns < conns {
+		t.Fatalf("counters: %+v", got)
+	}
+}
+
+func errFromStatus(r *Response) error {
+	return &statusError{status: r.Status, msg: r.Err}
+}
+
+type statusError struct {
+	status byte
+	msg    string
+}
+
+func (e *statusError) Error() string {
+	return "unexpected status " + string('0'+e.status) + " " + e.msg
+}

@@ -56,7 +56,7 @@ func runCache(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, erro
 	base := eng.Stats()
 	readPct := cfg.readPct()
 	snapshot := cfg.Snapshot
-	txns, el, lh := drive(cfg.threads(), cfg.dur(), cfg.Latency, func(tid int) func() uint64 {
+	txns, el, lh := drive(cfg.threads(), cfg.dur(), cfg.Warmup, cfg.Latency, func(tid int) func() uint64 {
 		tx := eng.NewWorker(tid)
 		// math/rand/v2 PCG, like workqueue/transfer: seeded straight from
 		// the uint64 (Seed, tid) pair, so a Seed near MaxInt64 can't
@@ -115,6 +115,11 @@ func runCache(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, erro
 			updates.Add(1)
 			return 1
 		}
+	}, func() {
+		// Re-snapshot at the measurement boundary (see transfer.go): the
+		// delta excludes warm-up, the Aux counters span the whole run for
+		// the coherence audit.
+		base = eng.Stats()
 	})
 
 	// Snapshot the measured delta before the audit: audit reads are

@@ -55,6 +55,27 @@ func bucketValue(i int) time.Duration {
 	return time.Duration(uint64(1)<<e + sub<<(e-latSubBits))
 }
 
+// Hist is the exported face of the HDR-style histogram, so out-of-package
+// drivers (cmd/txload's end-to-end latency mode) reuse the same -lat
+// machinery — identical buckets, resolution, and percentile estimation —
+// and their numbers stay comparable with the in-process tables.
+type Hist struct{ h latHist }
+
+// Record adds one sample.
+func (h *Hist) Record(d time.Duration) { h.h.record(d) }
+
+// RecordN adds c samples at duration d.
+func (h *Hist) RecordN(d time.Duration, c uint64) { h.h.recordN(d, c) }
+
+// Merge folds o into h.
+func (h *Hist) Merge(o *Hist) { h.h.merge(&o.h) }
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.h.count }
+
+// Percentile returns the p-quantile (0 < p <= 1), 0 when empty.
+func (h *Hist) Percentile(p float64) time.Duration { return h.h.percentile(p) }
+
 // percentile returns the p-quantile (0 < p <= 1) of recorded durations, or
 // 0 when nothing was recorded.
 func (h *latHist) percentile(p float64) time.Duration {

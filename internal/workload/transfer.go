@@ -66,7 +66,7 @@ func runTransfer(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, e
 
 	var transfers, audits, insufficient atomic.Uint64
 	base := eng.Stats()
-	txns, el, lh := drive(cfg.threads(), cfg.dur(), cfg.Latency, func(tid int) func() uint64 {
+	txns, el, lh := drive(cfg.threads(), cfg.dur(), cfg.Warmup, cfg.Latency, func(tid int) func() uint64 {
 		tx := eng.NewWorker(tid)
 		rng := rand.New(rand.NewPCG(cfg.seed(), uint64(tid)+1))
 		// Accounts draw uniformly by default; Config.ZipfS > 1 skews the
@@ -131,6 +131,12 @@ func runTransfer(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, e
 				return 0
 			}
 		}
+	}, func() {
+		// Re-snapshot the stats base at the measurement boundary so the
+		// reported delta excludes warm-up transactions, matching Txns. The
+		// Aux counters deliberately keep spanning the whole run: the
+		// conservation audit below must see every transfer.
+		base = eng.Stats()
 	})
 
 	// Snapshot the measured delta before the audit: audit reads are

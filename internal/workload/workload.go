@@ -81,6 +81,15 @@ type Config struct {
 	// that comprises more than one engine transaction.
 	Latency bool
 
+	// Warmup runs the workers for this long before measurement begins:
+	// iterations completed during the ramp-up are not counted in Txns,
+	// Throughput, Stats, or the latency histograms, so committed numbers
+	// stop including JIT/cache/footprint-learning warm-up noise. The
+	// scenario-specific Aux counters still span the whole run — they feed
+	// the post-run invariant audits, which must see everything. Zero keeps
+	// the old measure-from-start behavior.
+	Warmup time.Duration
+
 	// NoHints disables the footprint hints scenarios pass to sharded
 	// engines (txengine.HintKeys). Hints let a transaction that knows its
 	// keys up front — a transfer knows both accounts — pre-declare its
@@ -326,12 +335,20 @@ func mapKind(caps txengine.Caps) txengine.MapKind {
 }
 
 // drive spawns threads workers, each constructed by newWorker (per-worker
-// state: tx handle, rng) and then iterated until dur elapses; it returns
-// the total transaction count, the measured wall time, and — when lat is
-// set — a merged per-iteration latency histogram (nil otherwise). Each
-// iteration returns the number of completed transactions it performed.
-func drive(threads int, dur time.Duration, lat bool, newWorker func(tid int) func() uint64) (uint64, time.Duration, *latHist) {
+// state: tx handle, rng) and then iterated until warmup+dur elapses; it
+// returns the transaction count completed inside the measured window, the
+// measured wall time, and — when lat is set — a merged per-iteration
+// latency histogram (nil otherwise). Each iteration returns the number of
+// completed transactions it performed.
+//
+// When warmup is positive, workers run for that long before measurement
+// begins: ramp-up iterations are discarded from the count and the
+// histograms. onMeasure, if non-nil, fires once at the start of the
+// measured window (with workers already running), so callers can
+// re-snapshot engine stats to the same boundary.
+func drive(threads int, dur, warmup time.Duration, lat bool, newWorker func(tid int) func() uint64, onMeasure func()) (uint64, time.Duration, *latHist) {
 	var stop atomic.Bool
+	var measuring atomic.Bool
 	var total atomic.Uint64
 	var wg sync.WaitGroup
 	var ready, start sync.WaitGroup
@@ -359,23 +376,43 @@ func drive(threads int, dur time.Duration, lat bool, newWorker func(tid int) fun
 					// and skip empty iterations (audit sweeps, lost
 					// conflicts): the percentiles are per *transaction*, and
 					// an iteration that completed several (or none) would
-					// otherwise skew them.
-					if c > 0 {
-						h.recordN(time.Since(t0), c)
+					// otherwise skew them. Warm-up iterations are discarded
+					// whole; one iteration spanning the boundary lands on
+					// whichever side its commit did.
+					if measuring.Load() {
+						if c > 0 {
+							h.recordN(time.Since(t0), c)
+						}
+						n += c
 					}
-					n += c
 				}
 			} else {
 				for !stop.Load() {
-					n += iter()
+					c := iter()
+					if measuring.Load() {
+						n += c
+					}
 				}
 			}
 			total.Add(n)
 		}(t)
 	}
 	ready.Wait()
+	if warmup > 0 {
+		start.Done()
+		time.Sleep(warmup)
+		measuring.Store(true)
+		if onMeasure != nil {
+			onMeasure()
+		}
+	} else {
+		measuring.Store(true)
+		if onMeasure != nil {
+			onMeasure()
+		}
+		start.Done()
+	}
 	t0 := time.Now()
-	start.Done()
 	time.Sleep(dur)
 	stop.Store(true)
 	wg.Wait()

@@ -73,7 +73,7 @@ func runWorkqueue(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, 
 	}
 
 	base := eng.Stats()
-	txns, el, lh := drive(cfg.threads(), cfg.dur(), cfg.Latency, func(tid int) func() uint64 {
+	txns, el, lh := drive(cfg.threads(), cfg.dur(), cfg.Warmup, cfg.Latency, func(tid int) func() uint64 {
 		tx := eng.NewWorker(tid)
 		rng := rand.New(rand.NewPCG(cfg.seed(), uint64(tid)))
 		var seq uint64
@@ -126,6 +126,11 @@ func runWorkqueue(eng txengine.Engine, caps txengine.Caps, cfg Config) (Result, 
 			claimed.Add(1)
 			return 1
 		}
+	}, func() {
+		// Re-snapshot at the measurement boundary (see transfer.go): the
+		// delta excludes warm-up, the Aux counters span the whole run for
+		// the drain audit.
+		base = eng.Stats()
 	})
 
 	// Snapshot the measured delta before the audit: audit reads are

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # bench.sh — run the txengine hot-path microbenchmark suite and emit a
-# machine-readable JSON result file (default BENCH_7.json at the repo
+# machine-readable JSON result file (default BENCH_8.json at the repo
 # root), establishing the repository's perf trajectory across PRs.
 #
 # Usage:
 #   scripts/bench.sh [out.json]
-#   BENCHTIME=2s COUNT=3 scripts/bench.sh    # longer, repeated runs
+#   BENCHTIME=2s COUNT=3 scripts/bench.sh        # longer, repeated runs
+#   SERVECONNS=256 SERVEDUR=1s scripts/bench.sh  # smaller serving A/B
 #
 # The suite lives in internal/txengine/: the sharded-runtime hot paths
 # (key routing, single-shard commit fast path, cross-shard commit via
@@ -16,6 +17,13 @@
 # workload A/B at -readpct 95 — OCC control vs -snapshot — with the stats
 # that certify snapshot reads never abort or restart.
 #
+# PR 8 adds the end-to-end serving A/B: txserver on medley-sharded sh4,
+# txload at SERVECONNS connections (default 1024), three rows — pipeline 1
+# with batching off, pipeline 8 with batching off, pipeline 8 with batching
+# on — so the JSON pins both the pipelining win and the batch scheduler's
+# win at equal-or-better tail latency. Each row's server is drained with
+# SIGTERM and must exit clean.
+#
 # Committed BENCH_N.json files for earlier PRs are history, not scratch
 # space: writing over one would silently rewrite the perf trajectory, so the
 # script refuses unless the target is this PR's own file or an uncommitted
@@ -23,11 +31,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pr=7
+pr=8
 out="${1:-BENCH_${pr}.json}"
 benchtime="${BENCHTIME:-0.5s}"
 count="${COUNT:-1}"
 abdur="${ABDUR:-1s}"
+serveconns="${SERVECONNS:-1024}"
+servedur="${SERVEDUR:-2s}"
+servewarm="${SERVEWARM:-500ms}"
+serveaddr="${SERVEADDR:-127.0.0.1:7461}"
 
 # Refuse to clobber a committed BENCH_N.json belonging to an earlier PR.
 if [[ "$(basename "$out")" =~ ^BENCH_([0-9]+)\.json$ ]]; then
@@ -39,7 +51,8 @@ if [[ "$(basename "$out")" =~ ^BENCH_([0-9]+)\.json$ ]]; then
 fi
 
 raw="$(mktemp)"
-trap 'rm -f "$raw" "$raw.results" "$raw.ab"' EXIT
+bindir="$(mktemp -d)"
+trap 'rm -f "$raw" "$raw.results" "$raw.ab" "$raw.serve" "$raw.srvlog"; rm -rf "$bindir"' EXIT
 
 go test -run '^$' -bench '.' -benchmem -benchtime "$benchtime" -count "$count" \
   ./internal/txengine/ | tee "$raw"
@@ -75,9 +88,38 @@ echo "# cache A/B (readpct 95, medley-sharded sh4): OCC control vs -snapshot"
   run_cache "-snapshot" snapshot; echo
 } > "$raw.ab"
 
+# Serving A/B: end-to-end throughput and tail latency through txserver at
+# $serveconns concurrent connections. One row per (pipeline, batching)
+# configuration; each row gets a fresh server, a SIGTERM drain, and a
+# clean-exit check.
+go build -o "$bindir/txserver" ./cmd/txserver
+go build -o "$bindir/txload" ./cmd/txload
+run_serve() { # $1 = mode label, $2 = server -batch, $3 = txload -pipeline
+  "$bindir/txserver" -addr "$serveaddr" -shards 4 -batch "$2" > "$raw.srvlog" 2>&1 &
+  local srvpid=$!
+  "$bindir/txload" -addr "$serveaddr" -conns "$serveconns" -pipeline "$3" \
+    -dur "$servedur" -warmup "$servewarm" -lat -json |
+    sed "s/^{/{\"mode\": \"$1\", /" | tr -d '\n'
+  kill -TERM "$srvpid"
+  wait "$srvpid"
+  if ! grep -q "drained clean" "$raw.srvlog"; then
+    echo "txserver ($1) did not drain clean:" >&2
+    cat "$raw.srvlog" >&2
+    exit 1
+  fi
+}
+
+echo "# serving A/B (txserver medley-sharded sh4, $serveconns conns): pipelining and batching on vs off"
+{
+  echo -n '    '; run_serve p1_nobatch 1 1; echo ','
+  echo -n '    '; run_serve p8_nobatch 1 8; echo ','
+  echo -n '    '; run_serve p8_batch 0 8; echo
+} > "$raw.serve"
+sed 's/^    //' "$raw.serve"
+
 {
   echo '{'
-  echo '  "suite": "internal/txengine hot-path microbenchmarks + OCC-vs-snapshot read pair",'
+  echo '  "suite": "internal/txengine hot-path microbenchmarks + OCC-vs-snapshot read pair + end-to-end serving A/B",'
   echo "  \"pr\": $pr,"
   echo "  \"go\": \"$(go env GOVERSION)\","
   echo "  \"host_cpus\": $(getconf _NPROCESSORS_ONLN),"
@@ -91,6 +133,9 @@ echo "# cache A/B (readpct 95, medley-sharded sh4): OCC control vs -snapshot"
   echo '  ],'
   echo '  "snapshot_cache_ab": ['
   cat "$raw.ab"
+  echo '  ],'
+  echo '  "serving_ab": ['
+  cat "$raw.serve"
   echo '  ]'
   echo '}'
 } > "$out"
