@@ -51,7 +51,7 @@ func main() {
 	keys := flag.Uint64("keys", 100_000, "keyspace size")
 	dur := flag.Duration("dur", 2*time.Second, "measurement duration")
 	warmup := flag.Duration("warmup", 0, "ramp-up before measurement; its samples are discarded")
-	rate := flag.Int("rate", 0, "open loop: aggregate target requests/s (0: closed loop)")
+	rate := flag.Int("rate", 0, "open loop: aggregate target requests/s, split across the active connections with the remainder spread 1 req/s each (0: closed loop)")
 	seed := flag.Uint64("seed", 1, "rng seed")
 	lat := flag.Bool("lat", false, "record per-request latency (p50/p99)")
 	jsonOut := flag.Bool("json", false, "emit one JSON result object instead of text")
@@ -81,6 +81,32 @@ func main() {
 		}
 	}
 
+	// Open-loop pacing: split -rate across the connections that have a
+	// window, spreading the remainder one req/s at a time so the aggregate
+	// hits the target exactly. A connection whose share rounds to zero stays
+	// idle (it must not fall back to closed-loop injection).
+	rates := make([]int, *conns)
+	if *rate > 0 {
+		active := 0
+		for _, w := range windows {
+			if w > 0 {
+				active++
+			}
+		}
+		base, extra := *rate/active, *rate%active
+		j := 0
+		for i := range windows {
+			if windows[i] == 0 {
+				continue
+			}
+			rates[i] = base
+			if j < extra {
+				rates[i]++
+			}
+			j++
+		}
+	}
+
 	var (
 		mu     sync.Mutex
 		total  counts
@@ -91,14 +117,14 @@ func main() {
 	measureStart := start.Add(*warmup)
 	deadline := start.Add(*warmup + *dur)
 	for i := 0; i < *conns; i++ {
-		if windows[i] == 0 {
-			continue // more conns than clients: this one stays idle
+		if windows[i] == 0 || (*rate > 0 && rates[i] == 0) {
+			continue // no window or no rate share: this one stays idle
 		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			c, h, got := drive(*addr, windows[i], i, *readPct, *zipfS, *keys,
-				*seed, *rate / *conns, *lat, measureStart, deadline)
+				*seed, rates[i], *lat, measureStart, deadline)
 			mu.Lock()
 			total.ok += got.ok
 			total.retry += got.retry

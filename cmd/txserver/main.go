@@ -59,9 +59,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// Main owns the engine: it is closed below, after the drain completes and
+	// the final stats are printed.
 	s, err := server.New(eng, server.Options{
 		BatchMax: *batch, Tokens: *tokens, AdmitWait: *admitWait,
-		QueueDepth: *queue, DrainGrace: *grace, CloseEngine: true,
+		QueueDepth: *queue, DrainGrace: *grace,
 	})
 	if err != nil {
 		eng.Close()
@@ -86,14 +88,19 @@ func main() {
 	}()
 
 	err = s.Serve(ln)
-	// Serve returns once Drain completes (or the listener fails for another
-	// reason). Report the run before deciding the exit status.
+	// Serve returns as soon as the listener stops accepting — the drain
+	// itself (in-flight requests, durable sync) may still be running in the
+	// signal goroutine. Join it: Drain is idempotent and blocks until the
+	// drain completes, so the report below and a zero exit really mean every
+	// acknowledged commit is finished and durable.
+	s.Drain()
 	st := eng.Stats()
 	c := s.Counters()
 	fmt.Printf("txserver: engine commits=%d aborts=%d retries=%d xshard=%d fphit=%d latchw=%d\n",
 		st.Commits, st.Aborts, st.Retries, st.CrossShardRestarts, st.FootprintHits, st.LatchWaits)
 	fmt.Printf("txserver: server conns=%d requests=%d shed=%d drained=%d batches=%d batchedops=%d\n",
 		c.Conns, c.Requests, c.Shed, c.Drained, c.Batches, c.BatchedOps)
+	eng.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

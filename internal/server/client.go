@@ -23,6 +23,7 @@ type Conn struct {
 	rbuf   []byte // frame read scratch
 	resp   Response
 	nextID uint64
+	err    error // sticky client-side encode error; poisons Flush/Recv
 }
 
 // Dial connects to a txserver at addr, retrying refused connections until
@@ -60,14 +61,26 @@ func (c *Conn) SendPut(key, val uint64) uint64 {
 }
 
 // SendTxn buffers an OpTxn request and returns its id. ops is caller-owned.
+// A transaction over MaxTxnOps ops cannot be framed (the server would reject
+// it, or worse, the uint16 op count would wrap): it is not buffered, and the
+// error poisons the connection — the next Flush or Recv reports it.
 func (c *Conn) SendTxn(ops []TxnOp) uint64 {
 	c.nextID++
+	if len(ops) > MaxTxnOps {
+		if c.err == nil {
+			c.err = fmt.Errorf("server: txn has %d ops, max %d", len(ops), MaxTxnOps)
+		}
+		return c.nextID
+	}
 	c.wbuf = AppendRequest(c.wbuf, &Request{ID: c.nextID, Op: OpTxn, Ops: ops})
 	return c.nextID
 }
 
 // Flush writes every buffered request frame to the socket.
 func (c *Conn) Flush() error {
+	if c.err != nil {
+		return c.err
+	}
 	if len(c.wbuf) == 0 {
 		return nil
 	}
@@ -80,6 +93,9 @@ func (c *Conn) Flush() error {
 // scratch reused by the next Recv; callers needing the data past that must
 // copy it.
 func (c *Conn) Recv() (*Response, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
 	body, err := ReadFrame(c.br, c.rbuf)
 	if err != nil {
 		return nil, err

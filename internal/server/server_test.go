@@ -87,6 +87,36 @@ func TestServeBasicOps(t *testing.T) {
 	}
 }
 
+// TestSendTxnTooManyOps: a transaction over MaxTxnOps ops fails fast
+// client-side (no frame is ever sent; the server cannot even represent it),
+// and the sticky error poisons both Flush and Recv.
+func TestSendTxnTooManyOps(t *testing.T) {
+	_, addr := startServer(t, "medley", txengine.Config{}, Options{})
+	c := dialT(t, addr)
+
+	if r, err := c.Put(1, 1); err != nil || !r.OK() {
+		t.Fatalf("put before oversized txn: %+v, %v", r, err)
+	}
+	ops := make([]TxnOp, MaxTxnOps+1)
+	for i := range ops {
+		ops[i] = TxnOp{Kind: TxnRead, Key: uint64(i)}
+	}
+	if _, err := c.Txn(ops); err == nil {
+		t.Fatal("oversized txn should fail client-side")
+	}
+	if err := c.Flush(); err == nil {
+		t.Fatal("Flush after oversized txn should keep failing")
+	}
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("Recv after oversized txn should keep failing")
+	}
+	// Exactly MaxTxnOps is framable and accepted.
+	c2 := dialT(t, addr)
+	if r, err := c2.Txn(ops[:MaxTxnOps]); err != nil || !r.OK() {
+		t.Fatalf("txn at MaxTxnOps: %+v, %v", r, err)
+	}
+}
+
 // TestServeAddUnderflowAborts: a TxnAdd that would go negative rolls the
 // whole transaction back with StatusAborted.
 func TestServeAddUnderflowAborts(t *testing.T) {

@@ -398,9 +398,14 @@ func drive(threads int, dur, warmup time.Duration, lat bool, newWorker func(tid 
 		}(t)
 	}
 	ready.Wait()
+	// t0 must be taken no later than the measuring flip: a transaction that
+	// commits after Store(true) is counted in the measured total, so the
+	// elapsed window has to cover it or throughput is inflated.
+	var t0 time.Time
 	if warmup > 0 {
 		start.Done()
 		time.Sleep(warmup)
+		t0 = time.Now()
 		measuring.Store(true)
 		if onMeasure != nil {
 			onMeasure()
@@ -411,8 +416,8 @@ func drive(threads int, dur, warmup time.Duration, lat bool, newWorker func(tid 
 			onMeasure()
 		}
 		start.Done()
+		t0 = time.Now()
 	}
-	t0 := time.Now()
 	time.Sleep(dur)
 	stop.Store(true)
 	wg.Wait()
