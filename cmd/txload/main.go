@@ -14,6 +14,15 @@
 // keys drawn uniformly or Zipf-skewed; -warmup discards ramp-up samples
 // from the histograms and counts.
 //
+// -txn folds multi-op transactions into the mix: that percentage of
+// requests are transfer-style Txn batches (read + add/add transfer between
+// two accounts + a write stamp) over a small account region of the
+// keyspace, seeded with balance before the drivers start. Their footprints
+// ride the wire protocol's op lists, so on sharded engines the server's
+// batch scheduler pre-declares each transfer's key set — the cross-shard
+// latch path under end-to-end network load. Underflowed transfers surface
+// as ABORTED, which the counts report separately.
+//
 // Exits non-zero if the server acknowledged nothing (a smoke-test guard).
 //
 // Examples:
@@ -22,6 +31,7 @@
 //	txload -conns 1024 -pipeline 8 -readpct 90 -zipf 1.2 -lat
 //	txload -clients 1024 -conns 128 -warmup 1s -dur 5s -lat -json
 //	txload -rate 50000 -conns 64 -pipeline 16 -lat   # open loop
+//	txload -txn 20 -conns 64 -pipeline 8 -lat        # 20% transfer txns
 package main
 
 import (
@@ -47,6 +57,7 @@ func main() {
 	clients := flag.Int("clients", 0, "total closed-loop clients spread across the connections (0: -pipeline per connection)")
 	pipeline := flag.Int("pipeline", 1, "requests in flight per connection when -clients is 0")
 	readPct := flag.Int("readpct", 90, "percentage of Gets (the rest are Puts)")
+	txnPct := flag.Int("txn", 0, "percentage of requests that are multi-op transfer Txn batches (the rest follow -readpct)")
 	zipfS := flag.Float64("zipf", 0, "Zipf key-skew exponent (>1.0; 0: uniform)")
 	keys := flag.Uint64("keys", 100_000, "keyspace size")
 	dur := flag.Duration("dur", 2*time.Second, "measurement duration")
@@ -57,8 +68,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON result object instead of text")
 	flag.Parse()
 
-	if *conns < 1 || *pipeline < 1 || *clients < 0 || *readPct < 0 || *readPct > 100 {
-		fmt.Fprintln(os.Stderr, "bad flags: want -conns>=1, -pipeline>=1, -clients>=0, -readpct 0-100")
+	if *conns < 1 || *pipeline < 1 || *clients < 0 || *readPct < 0 || *readPct > 100 || *txnPct < 0 || *txnPct > 100 {
+		fmt.Fprintln(os.Stderr, "bad flags: want -conns>=1, -pipeline>=1, -clients>=0, -readpct 0-100, -txn 0-100")
 		os.Exit(2)
 	}
 	if *zipfS != 0 && *zipfS <= 1 {
@@ -107,6 +118,17 @@ func main() {
 		}
 	}
 
+	// Transfer transactions run over a small account region so contention is
+	// real; seed the balances before any driver starts, so early transfers
+	// aren't all underflow aborts.
+	accounts := min(*keys, txnAccounts)
+	if *txnPct > 0 {
+		if err := seedAccounts(*addr, accounts); err != nil {
+			fmt.Fprintln(os.Stderr, "txload: seeding accounts:", err)
+			os.Exit(1)
+		}
+	}
+
 	var (
 		mu     sync.Mutex
 		total  counts
@@ -123,8 +145,8 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c, h, got := drive(*addr, windows[i], i, *readPct, *zipfS, *keys,
-				*seed, rates[i], *lat, measureStart, deadline)
+			c, h, got := drive(*addr, windows[i], i, *readPct, *txnPct, accounts,
+				*zipfS, *keys, *seed, rates[i], *lat, measureStart, deadline)
 			mu.Lock()
 			total.ok += got.ok
 			total.retry += got.retry
@@ -151,7 +173,7 @@ func main() {
 	if *jsonOut {
 		out := map[string]any{
 			"conns": *conns, "clients": *clients, "pipeline": *pipeline,
-			"readpct": *readPct, "zipf": *zipfS, "rate": *rate,
+			"readpct": *readPct, "txnpct": *txnPct, "zipf": *zipfS, "rate": *rate,
 			"ok": total.ok, "retry": total.retry, "draining": total.draining,
 			"aborted": total.aborted, "errors": total.errs,
 			"secs": el.Seconds(), "throughput": tput,
@@ -175,12 +197,50 @@ func main() {
 	}
 }
 
+// txnAccounts caps the transfer-transaction account region: small enough to
+// contend, large enough to shard. Stamp keys live in the region above it.
+const txnAccounts = uint64(1024)
+
+// txnSeedBalance is each account's starting balance. Large enough that a
+// run's worth of net outflow rarely underflows (underflows abort cleanly).
+const txnSeedBalance = uint64(1_000_000)
+
+// seedAccounts puts the starting balance on every transfer account over one
+// pipelined connection before the drivers start.
+func seedAccounts(addr string, accounts uint64) error {
+	c, err := server.Dial(addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	const window = 64
+	for lo := uint64(0); lo < accounts; lo += window {
+		hi := min(lo+window, accounts)
+		for k := lo; k < hi; k++ {
+			c.SendPut(k, txnSeedBalance)
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		for k := lo; k < hi; k++ {
+			r, err := c.Recv()
+			if err != nil {
+				return err
+			}
+			if !r.OK() {
+				return fmt.Errorf("seed put %d: status %d %s", k, r.Status, r.Err)
+			}
+		}
+	}
+	return nil
+}
+
 // drive runs one connection's closed- or open-loop window until the
 // deadline. Responses arrive in request order (a server guarantee), so
 // latency matching is a FIFO of send timestamps. Samples and counts before
 // measureStart are discarded; a sample belongs to the measured window if
 // its REQUEST was sent inside it.
-func drive(addr string, window, tid, readPct int, zipfS float64, keys, seed uint64,
+func drive(addr string, window, tid, readPct, txnPct int, accounts uint64, zipfS float64, keys, seed uint64,
 	connRate int, lat bool, measureStart, deadline time.Time) (*server.Conn, *workload.Hist, counts) {
 	var got counts
 	c, err := server.Dial(addr, 5*time.Second)
@@ -202,9 +262,28 @@ func drive(addr string, window, tid, readPct int, zipfS float64, keys, seed uint
 	// FIFO of send timestamps for the in-flight window (zero time: sent
 	// during warm-up, discard its sample).
 	stamps := make([]time.Time, 0, window)
+	var txops []server.TxnOp
+	var txSeq uint64
 	send := func(now time.Time) {
 		k := draw()
-		if rng.IntN(100) < readPct {
+		if txnPct > 0 && rng.IntN(100) < txnPct {
+			// A transfer: read the source, move one unit between two
+			// accounts, stamp a per-connection sequence key. The op list is
+			// the transaction's declared footprint, so sharded engines lock
+			// (or latch) exactly these keys up front.
+			from, to := k%accounts, draw()%accounts
+			if from == to {
+				to = (to + 1) % accounts
+			}
+			txSeq++
+			txops = append(txops[:0],
+				server.TxnOp{Kind: server.TxnRead, Key: from},
+				server.AddDelta(from, -1),
+				server.AddDelta(to, +1),
+				server.TxnOp{Kind: server.TxnWrite, Key: accounts + uint64(tid)%accounts, Arg: txSeq},
+			)
+			c.SendTxn(txops)
+		} else if rng.IntN(100) < readPct {
 			c.SendGet(k)
 		} else {
 			c.SendPut(k, k*3+1)

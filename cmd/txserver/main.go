@@ -8,9 +8,14 @@
 // Each connection gets a dedicated engine session and a FIFO request queue
 // (the server side of the client's pipelining window). A token-based
 // admission controller sheds excess load with an explicit RETRY status
-// instead of queueing toward collapse. SIGINT/SIGTERM triggers a graceful
-// drain: in-flight requests finish, new ones are rejected with DRAINING,
-// persistent engines sync a durable cut, and the process exits 0.
+// instead of queueing toward collapse. On engines with a snapshot tier,
+// read-only work — Gets and all-Read Txn batches — is served through the
+// read fast lane: cross-connection combiners answer many connections'
+// pending reads from one pinned snapshot cut, no OCC, no admission tokens
+// (-noreadlane reverts to the pure OCC path for A/B runs). SIGINT/SIGTERM
+// triggers a graceful drain: in-flight requests finish, new ones are
+// rejected with DRAINING, persistent engines sync a durable cut, and the
+// process exits 0.
 //
 // Examples:
 //
@@ -18,12 +23,16 @@
 //	txserver -engine medley-sharded -shards 8 -batch 32
 //	txserver -engine txmontage-sharded -shards 4   # persistent: drain syncs
 //	txserver -engine medley -addr 127.0.0.1:9000 -tokens 2
+//	txserver -noreadlane                       # A/B control: OCC-only reads
+//	txserver -pprof 127.0.0.1:6060             # profiling endpoints
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves the standard profiling endpoints
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,6 +54,9 @@ func main() {
 	grace := flag.Duration("grace", 0, "drain grace for in-flight requests (0: default)")
 	epochLen := flag.Duration("epoch", 10*time.Millisecond, "txMontage epoch length")
 	noLatch := flag.Bool("nolatch", false, "disable key-granular cross-shard latching on sharded engines")
+	noReadLane := flag.Bool("noreadlane", false, "disable the snapshot read fast lane (A/B control: every request runs OCC)")
+	combiners := flag.Int("combiners", 0, "read-lane combiner stripes (0: host-sized default)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty: off)")
 	flag.Parse()
 
 	if err := txengine.ValidateShardsFlag(*shards); err != nil {
@@ -64,6 +76,7 @@ func main() {
 	s, err := server.New(eng, server.Options{
 		BatchMax: *batch, Tokens: *tokens, AdmitWait: *admitWait,
 		QueueDepth: *queue, DrainGrace: *grace,
+		NoReadLane: *noReadLane, ReadCombiners: *combiners,
 	})
 	if err != nil {
 		eng.Close()
@@ -76,8 +89,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	fmt.Printf("txserver: %s on %s (batch=%d tokens=%d)\n",
-		eng.Name(), ln.Addr(), *batch, *tokens)
+	fmt.Printf("txserver: %s on %s (batch=%d tokens=%d readlane=%v)\n",
+		eng.Name(), ln.Addr(), *batch, *tokens, s.ReadLaneEnabled())
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers via the blank import.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "txserver: pprof:", err)
+			}
+		}()
+		fmt.Printf("txserver: pprof on %s\n", *pprofAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -100,6 +122,8 @@ func main() {
 		st.Commits, st.Aborts, st.Retries, st.CrossShardRestarts, st.FootprintHits, st.LatchWaits)
 	fmt.Printf("txserver: server conns=%d requests=%d shed=%d drained=%d batches=%d batchedops=%d\n",
 		c.Conns, c.Requests, c.Shed, c.Drained, c.Batches, c.BatchedOps)
+	fmt.Printf("txserver: readlane snapserved=%d combined=%d occserved=%d\n",
+		c.SnapServed, c.Combined, c.OCCServed)
 	eng.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

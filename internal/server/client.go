@@ -21,6 +21,7 @@ type Conn struct {
 	br     *bufio.Reader
 	wbuf   []byte // encoded, unflushed request frames
 	rbuf   []byte // frame read scratch
+	req    Request
 	resp   Response
 	nextID uint64
 	err    error // sticky client-side encode error; poisons Flush/Recv
@@ -49,14 +50,16 @@ func (c *Conn) Close() error { return c.c.Close() }
 // SendGet buffers an OpGet request and returns its id.
 func (c *Conn) SendGet(key uint64) uint64 {
 	c.nextID++
-	c.wbuf = AppendRequest(c.wbuf, &Request{ID: c.nextID, Op: OpGet, Key: key})
+	c.req = Request{ID: c.nextID, Op: OpGet, Key: key}
+	c.wbuf = AppendRequest(c.wbuf, &c.req)
 	return c.nextID
 }
 
 // SendPut buffers an OpPut request and returns its id.
 func (c *Conn) SendPut(key, val uint64) uint64 {
 	c.nextID++
-	c.wbuf = AppendRequest(c.wbuf, &Request{ID: c.nextID, Op: OpPut, Key: key, Val: val})
+	c.req = Request{ID: c.nextID, Op: OpPut, Key: key, Val: val}
+	c.wbuf = AppendRequest(c.wbuf, &c.req)
 	return c.nextID
 }
 
@@ -72,7 +75,8 @@ func (c *Conn) SendTxn(ops []TxnOp) uint64 {
 		}
 		return c.nextID
 	}
-	c.wbuf = AppendRequest(c.wbuf, &Request{ID: c.nextID, Op: OpTxn, Ops: ops})
+	c.req = Request{ID: c.nextID, Op: OpTxn, Ops: ops}
+	c.wbuf = AppendRequest(c.wbuf, &c.req)
 	return c.nextID
 }
 

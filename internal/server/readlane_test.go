@@ -1,0 +1,304 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"medley/internal/txengine"
+)
+
+// TestReadLaneNeverTorn is the read lane's end-to-end isolation audit:
+// writer connections move value between account pairs with multi-key
+// transactions while reader connections audit each pair's sum through the
+// lane — synchronous Gets and all-Read Txn batches. A torn read (an audit
+// transaction observing a transfer half-applied) would break the sum. After
+// an explicit drain, the lane must actually have served reads, and every OK
+// answered by the server must be attributed to exactly one path:
+// SnapServed + OCCServed == the clients' OK tally.
+func TestReadLaneNeverTorn(t *testing.T) {
+	const (
+		pairs     = 8
+		seed      = uint64(1000)
+		transfers = 300
+		audits    = 400
+		writers   = 4
+		readers   = 4
+	)
+	s, addr := startServer(t, "medley-sharded", txengine.Config{Shards: 4}, Options{})
+	if !s.ReadLaneEnabled() {
+		t.Fatal("read lane should be on for a sharded medley engine")
+	}
+
+	// Seed each pair's two accounts.
+	seedConn := dialT(t, addr)
+	var okTally atomic.Uint64
+	for k := uint64(0); k < 2*pairs; k++ {
+		r, err := seedConn.Put(k, seed)
+		if err != nil || !r.OK() {
+			t.Fatalf("seed %d: %+v, %v", k, r, err)
+		}
+		okTally.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	fail := make(chan string, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(addr, 0)
+			if err != nil {
+				fail <- "writer dial: " + err.Error()
+				return
+			}
+			defer c.Close()
+			for i := 0; i < transfers; i++ {
+				p := uint64((w + i) % pairs)
+				from, to := 2*p, 2*p+1
+				if i%2 == 0 {
+					from, to = to, from
+				}
+				r, err := c.Txn([]TxnOp{
+					{Kind: TxnRead, Key: from},
+					AddDelta(from, -1),
+					AddDelta(to, +1),
+				})
+				if err != nil {
+					fail <- "transfer: " + err.Error()
+					return
+				}
+				switch r.Status {
+				case StatusOK:
+					okTally.Add(1)
+				case StatusRetry, StatusAborted:
+					// Shed under load or balance exhausted: both fine.
+				default:
+					fail <- "transfer status: " + r.Err
+					return
+				}
+			}
+		}(w)
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			c, err := Dial(addr, 0)
+			if err != nil {
+				fail <- "reader dial: " + err.Error()
+				return
+			}
+			defer c.Close()
+			for i := 0; i < audits; i++ {
+				p := uint64((rd + i) % pairs)
+				// The atomic audit: one all-Read transaction is a single
+				// lane job served from one cut, so the pair sum must hold.
+				r, err := c.Txn([]TxnOp{
+					{Kind: TxnRead, Key: 2 * p},
+					{Kind: TxnRead, Key: 2*p + 1},
+				})
+				if err != nil {
+					fail <- "audit txn: " + err.Error()
+					return
+				}
+				if r.Status == StatusRetry {
+					continue
+				}
+				if !r.OK() || len(r.Reads) != 2 {
+					fail <- "audit txn status: " + r.Err
+					return
+				}
+				okTally.Add(1)
+				if sum := r.Reads[0].Val + r.Reads[1].Val; sum != 2*seed {
+					fail <- "torn read: pair sum drifted"
+					return
+				}
+				// Interleave plain Gets so individual-Get lane traffic runs
+				// under the same churn (no atomicity claim across two Gets).
+				if g, err := c.Get(2 * p); err != nil || !g.OK() {
+					if err != nil {
+						fail <- "audit get: " + err.Error()
+						return
+					}
+					if g.Status != StatusRetry {
+						fail <- "audit get status: " + g.Err
+						return
+					}
+				} else {
+					okTally.Add(1)
+				}
+			}
+		}(rd)
+	}
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+
+	s.Drain()
+	got := s.Counters()
+	if got.SnapServed == 0 {
+		t.Fatalf("lane served nothing: %+v", got)
+	}
+	if got.SnapServed+got.OCCServed != okTally.Load() {
+		t.Fatalf("attribution leak: snap %d + occ %d != client OKs %d",
+			got.SnapServed, got.OCCServed, okTally.Load())
+	}
+}
+
+// TestReadLaneReadYourWrites: a connection that just wrote a key must see
+// that write through the lane immediately, even while concurrent writers on
+// other keys hold the snapshot seal back (the lane falls such reads back to
+// OCC rather than serve a stale cut).
+func TestReadLaneReadYourWrites(t *testing.T) {
+	s, addr := startServer(t, "medley", txengine.Config{}, Options{})
+	if !s.ReadLaneEnabled() {
+		t.Fatal("read lane should be on")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(addr, 0)
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Put(1000+uint64(w), i)
+			}
+		}(w)
+	}
+
+	c := dialT(t, addr)
+	for i := uint64(1); i <= 300; i++ {
+		if r, err := c.Put(7, i); err != nil || r.Status == StatusErr {
+			t.Fatalf("put %d: %+v, %v", i, r, err)
+		}
+		r, err := c.Get(7)
+		if err != nil || r.Status == StatusErr {
+			t.Fatalf("get %d: %+v, %v", i, r, err)
+		}
+		if r.OK() && (!r.Found || r.Val != i) {
+			t.Fatalf("read-your-writes violated: wrote %d, read %+v", i, r)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestReadLaneCombines pins the flat-combining mechanics deterministically:
+// two follower jobs are staged on the stripe's pending queue, then a third
+// submission takes leadership and must drain all three under one wakeup —
+// every request counts as combined, every job gets its results, and the
+// jobs of dead-to-be connections are released from the scratch array.
+func TestReadLaneCombines(t *testing.T) {
+	eng, err := txengine.Build("medley", txengine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(eng, Options{CloseEngine: true, ReadCombiners: 1})
+	if err != nil {
+		eng.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Drain)
+	if !s.ReadLaneEnabled() || len(s.lane.stripes) != 1 {
+		t.Fatalf("want one combiner stripe, have lane=%v", s.ReadLaneEnabled())
+	}
+	seed := eng.NewWorker(99)
+	if err := seed.Run(func() error {
+		for k := uint64(0); k < 8; k++ {
+			s.m.Put(seed, k, 100+k)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	mkJob := func(keys ...uint64) *readJob {
+		j := &readJob{done: make(chan struct{}, 1)}
+		for _, k := range keys {
+			j.batch = append(j.batch, pendReq{req: Request{Op: OpGet, Key: k}, read: true})
+		}
+		return j
+	}
+	cb := s.lane.stripes[0]
+	followers := []*readJob{mkJob(0, 1), mkJob(2, 3, 4)}
+	cb.mu.Lock()
+	cb.pending = append(cb.pending, followers...)
+	cb.mu.Unlock()
+
+	leader := mkJob(5, 6)
+	cb.submit(leader) // drains the staged followers and itself in one wakeup
+
+	total := 0
+	for _, j := range append(followers, leader) {
+		select {
+		case <-j.done:
+		default:
+			if j != leader {
+				t.Fatal("follower job not signalled")
+			}
+		}
+		if j.fallback {
+			t.Fatal("job fell back with no writer churn")
+		}
+		if len(j.results) != len(j.batch) {
+			t.Fatalf("job got %d results for %d gets", len(j.results), len(j.batch))
+		}
+		for i, res := range j.results {
+			if want := 100 + j.batch[i].req.Key; !res.Found || res.Val != want {
+				t.Fatalf("get %d: %+v, want %d", j.batch[i].req.Key, res, want)
+			}
+		}
+		total += len(j.batch)
+	}
+	got := s.Counters()
+	if got.SnapServed != uint64(total) || got.Combined != uint64(total) {
+		t.Fatalf("want %d snap-served and combined, got %+v", total, got)
+	}
+	for _, slot := range cb.scratch[:cap(cb.scratch)] {
+		if slot != nil {
+			t.Fatal("drained wakeup retains job references")
+		}
+	}
+}
+
+// TestReadLaneDisabled: the -noreadlane knob forces every read through the
+// OCC path, and an engine without CapSnapshot never gets a lane.
+func TestReadLaneDisabled(t *testing.T) {
+	s, addr := startServer(t, "medley", txengine.Config{}, Options{NoReadLane: true})
+	if s.ReadLaneEnabled() {
+		t.Fatal("NoReadLane should disable the lane")
+	}
+	c := dialT(t, addr)
+	for i := 0; i < 10; i++ {
+		if r, err := c.Get(uint64(i)); err != nil || !r.OK() {
+			t.Fatalf("get: %+v, %v", r, err)
+		}
+	}
+	if got := s.Counters(); got.SnapServed != 0 || got.Combined != 0 {
+		t.Fatalf("lane counters moved while disabled: %+v", got)
+	}
+
+	s2, addr2 := startServer(t, "onefile", txengine.Config{}, Options{})
+	if s2.ReadLaneEnabled() {
+		t.Fatal("onefile has no snapshot tier; lane must be off")
+	}
+	c2 := dialT(t, addr2)
+	if r, err := c2.Get(1); err != nil || !r.OK() {
+		t.Fatalf("get on onefile: %+v, %v", r, err)
+	}
+}

@@ -14,7 +14,8 @@ import (
 )
 
 // Options tunes a Server. The zero value is serviceable: coalescing on,
-// admission sized to the host, a half-second drain grace.
+// admission sized to the host, the read fast lane on (where the engine
+// supports it), a half-second drain grace.
 type Options struct {
 	// BatchMax is the most adjacent single-op requests (OpGet/OpPut) from
 	// one connection the scheduler coalesces into a single hinted
@@ -27,6 +28,8 @@ type Options struct {
 	// request batches allowed to execute on the engine concurrently
 	// (0: 4×GOMAXPROCS). Requests beyond it wait up to AdmitWait and are
 	// then shed with StatusRetry — bounded queueing instead of collapse.
+	// Read-lane batches bypass the tokens: the combiner executes at most
+	// one batch per stripe at a time, a strictly tighter bound.
 	Tokens int
 	// AdmitWait is how long a batch may wait for an admission token before
 	// being shed (0: DefaultAdmitWait; negative: shed immediately).
@@ -46,6 +49,16 @@ type Options struct {
 	// CloseEngine closes the engine after Drain completes. Leave false
 	// when the caller owns the engine (tests that crash and recover it).
 	CloseEngine bool
+	// NoReadLane disables the snapshot read fast lane even on CapSnapshot
+	// engines: every request executes through the OCC path, as before the
+	// lane existed. The A/B measurement knob (-noreadlane in txserver) and
+	// a kill switch. Engines without CapSnapshot never have the lane.
+	NoReadLane bool
+	// ReadCombiners is the read lane's combiner stripe count (0: a host-
+	// sized default). Each stripe drains the pending reads of its assigned
+	// connections into one pinned snapshot cut per wakeup; fewer stripes
+	// combine more aggressively, more stripes admit more read parallelism.
+	ReadCombiners int
 }
 
 // Option defaults.
@@ -91,6 +104,13 @@ func (o Options) drainGrace() time.Duration {
 	return DefaultDrainGrace
 }
 
+func (o Options) readCombiners() int {
+	if o.ReadCombiners > 0 {
+		return o.ReadCombiners
+	}
+	return max(1, min(4, runtime.GOMAXPROCS(0)/4))
+}
+
 func (o Options) mapSpec() txengine.MapSpec {
 	if o.MapSpec == (txengine.MapSpec{}) {
 		return txengine.MapSpec{Kind: txengine.KindHash, Buckets: 1 << 16}
@@ -107,15 +127,22 @@ type Counters struct {
 	Drained    uint64 // requests rejected with StatusDraining
 	Batches    uint64 // coalesced multi-op batches executed
 	BatchedOps uint64 // single-op requests executed inside those batches
+	SnapServed uint64 // requests answered from the snapshot read lane
+	Combined   uint64 // lane requests that shared their pinned cut with another connection
+	OCCServed  uint64 // requests answered StatusOK through the OCC path
 }
 
 // Server serves the wire protocol over one hosted transactional map on one
 // engine. Each connection gets a dedicated engine session (Tx handle) and a
-// FIFO request queue; responses are written in request order.
+// FIFO request queue; responses are written in request order. On engines
+// with CapSnapshot, read-only work — Gets and all-Read Txn batches — is
+// routed through the read fast lane (see readlane.go) unless
+// Options.NoReadLane.
 type Server struct {
 	eng  txengine.Engine
 	m    txengine.Map[uint64]
 	opts Options
+	lane *readLane // nil: OCC path only
 
 	tokens   chan struct{}
 	draining atomic.Bool
@@ -130,6 +157,7 @@ type Server struct {
 	nextTid atomic.Int64
 
 	cConns, cRequests, cShed, cDrained, cBatches, cBatchedOps atomic.Uint64
+	cSnapServed, cCombined, cOCCServed                        atomic.Uint64
 }
 
 // New builds a server over eng, creating the hosted map from opts.MapSpec.
@@ -154,6 +182,9 @@ func New(eng txengine.Engine, opts Options) (*Server, error) {
 	for i := 0; i < opts.tokens(); i++ {
 		s.tokens <- struct{}{}
 	}
+	if !opts.NoReadLane && eng.Caps().Has(txengine.CapSnapshot) {
+		s.lane = newReadLane(s, opts.readCombiners())
+	}
 	return s, nil
 }
 
@@ -162,6 +193,9 @@ func (s *Server) Map() txengine.Map[uint64] { return s.m }
 
 // Engine exposes the served engine.
 func (s *Server) Engine() txengine.Engine { return s.eng }
+
+// ReadLaneEnabled reports whether the snapshot read fast lane is active.
+func (s *Server) ReadLaneEnabled() bool { return s.lane != nil }
 
 // Counters snapshots the server-level counters.
 func (s *Server) Counters() Counters {
@@ -172,6 +206,9 @@ func (s *Server) Counters() Counters {
 		Drained:    s.cDrained.Load(),
 		Batches:    s.cBatches.Load(),
 		BatchedOps: s.cBatchedOps.Load(),
+		SnapServed: s.cSnapServed.Load(),
+		Combined:   s.cCombined.Load(),
+		OCCServed:  s.cOCCServed.Load(),
 	}
 }
 
@@ -246,9 +283,29 @@ func (s *Server) Drain() {
 // pendReq is one decoded request in a connection's queue. shed marks
 // requests that arrived after drain began: they flow through the processor
 // (preserving response order) but are answered StatusDraining unexecuted.
+// read marks lane-eligible requests (OpGet, or OpTxn whose ops are all
+// TxnRead), classified once at decode time. ops is the pooled backing store
+// of req.Ops, recycled by the processor once the response is encoded.
 type pendReq struct {
 	req  Request
+	ops  *[]TxnOp
 	shed bool
+	read bool
+}
+
+// opsPool recycles OpTxn op slices between the reader (which decodes into
+// them) and the processor (which returns them after responding), so a
+// steady transaction stream allocates no per-request op storage.
+var opsPool = sync.Pool{New: func() any { s := make([]TxnOp, 0, 16); return &s }}
+
+// allRead reports whether every op of an OpTxn is a TxnRead.
+func allRead(ops []TxnOp) bool {
+	for i := range ops {
+		if ops[i].Kind != TxnRead {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *Server) handle(c net.Conn) {
@@ -278,33 +335,72 @@ func (s *Server) readLoop(c net.Conn, queue chan<- pendReq) {
 			return
 		}
 		buf = body
-		req, err := DecodeRequest(body)
+		pr := pendReq{}
+		if len(body) > reqHeaderLen && body[8] == OpTxn {
+			// Transactions decode into pooled op storage; the processor
+			// returns it once the response is encoded.
+			pr.ops = opsPool.Get().(*[]TxnOp)
+			pr.req, err = DecodeRequestReuse(body, *pr.ops)
+			*pr.ops = pr.req.Ops[:0:cap(pr.req.Ops)]
+		} else {
+			pr.req, err = DecodeRequest(body)
+		}
 		if err != nil {
+			if pr.ops != nil {
+				opsPool.Put(pr.ops)
+			}
 			return
 		}
+		pr.read = pr.req.Op == OpGet || (pr.req.Op == OpTxn && allRead(pr.req.Ops))
 		s.cRequests.Add(1)
-		queue <- pendReq{req: req, shed: s.draining.Load()}
+		pr.shed = s.draining.Load()
+		queue <- pr
 	}
 }
 
+// proc is one connection's processor state: the dedicated engine session,
+// the read-lane stripe and reusable job, and every per-connection scratch
+// buffer the hot path reuses instead of allocating — request batches, hint
+// keys, read results, the encoded-response buffer, and a Response value
+// whose address is stable so encoding never escapes to the heap.
+type proc struct {
+	s     *Server
+	tx    txengine.Tx
+	comb  *combiner // read-lane stripe; nil when the lane is off
+	timer *time.Timer
+
+	batch   []pendReq
+	keys    []uint64
+	results []ReadResult
+	wbuf    []byte
+	resp    Response
+	job     readJob
+
+	// lastWriteTS is the engine commit timestamp of this connection's most
+	// recent write; a snapshot cut must reach it before the lane may serve
+	// this connection's reads (read-your-writes — see execLane).
+	lastWriteTS uint64
+}
+
 // procLoop is the connection's processor: it dequeues requests, coalesces
-// adjacent single-ops into hinted transactions, runs them through admission
+// adjacent single-ops into batches, classifies them read vs write, executes
+// read runs through the snapshot lane and everything else through admission
 // control on the connection's dedicated engine session, and writes responses
 // in request order. The output writer is flushed only when no request is
 // ready — pipelined bursts pay one syscall per burst, not per response.
 func (s *Server) procLoop(c net.Conn, queue <-chan pendReq) {
 	bw := bufio.NewWriterSize(c, 64<<10)
-	tx := s.eng.NewWorker(int(s.nextTid.Add(1)))
-	batchMax := s.opts.batchMax()
-	timer := time.NewTimer(time.Hour)
-	if !timer.Stop() {
-		<-timer.C
+	p := &proc{s: s, tx: s.eng.NewWorker(int(s.nextTid.Add(1)))}
+	if s.lane != nil {
+		p.comb = s.lane.stripeFor(s.cConns.Load())
+		p.job.done = make(chan struct{}, 1)
 	}
+	p.timer = time.NewTimer(time.Hour)
+	if !p.timer.Stop() {
+		<-p.timer.C
+	}
+	batchMax := s.opts.batchMax()
 	var (
-		batch    []pendReq
-		keys     []uint64
-		results  []ReadResult
-		wbuf     []byte
 		leftover *pendReq
 		holdover pendReq
 	)
@@ -325,11 +421,11 @@ func (s *Server) procLoop(c net.Conn, queue <-chan pendReq) {
 				return
 			}
 		}
-		batch = append(batch[:0], first)
+		p.batch = append(p.batch[:0], first)
 		closed := false
 		if !first.shed && first.req.Op != OpTxn && batchMax > 1 {
 		collect:
-			for len(batch) < batchMax {
+			for len(p.batch) < batchMax {
 				select {
 				case r, ok := <-queue:
 					if !ok {
@@ -341,19 +437,19 @@ func (s *Server) procLoop(c net.Conn, queue <-chan pendReq) {
 						leftover = &holdover
 						break collect
 					}
-					batch = append(batch, r)
+					p.batch = append(p.batch, r)
 				default:
 					break collect
 				}
 			}
 		}
-		keys, results, wbuf = s.exec(tx, batch, timer, keys, results, wbuf)
-		if len(wbuf) > 0 {
-			if _, err := bw.Write(wbuf); err != nil {
+		p.exec(p.batch)
+		if len(p.wbuf) > 0 {
+			if _, err := bw.Write(p.wbuf); err != nil {
 				s.discard(queue)
 				return
 			}
-			wbuf = wbuf[:0]
+			p.wbuf = p.wbuf[:0]
 		}
 		if closed {
 			bw.Flush()
@@ -369,17 +465,81 @@ func (s *Server) discard(queue <-chan pendReq) {
 	}
 }
 
-// exec runs one batch — either a single request or several coalesced
-// single-ops — through admission control and appends the responses to wbuf.
-// The scratch slices are returned for reuse.
-func (s *Server) exec(tx txengine.Tx, batch []pendReq, timer *time.Timer, keys []uint64, results []ReadResult, wbuf []byte) ([]uint64, []ReadResult, []byte) {
-	if batch[0].shed {
-		s.cDrained.Add(uint64(len(batch)))
+// exec answers one collected batch, appending the responses to p.wbuf in
+// request order. With the read lane on, the batch is split into maximal
+// contiguous runs of reads vs writes: read runs go through the snapshot
+// combiner, everything else through the OCC path — executed strictly in
+// order, so a read following this connection's write observes it. Pooled
+// op storage is recycled at the end.
+func (p *proc) exec(batch []pendReq) {
+	switch {
+	case batch[0].shed:
+		p.s.cDrained.Add(uint64(len(batch)))
 		for i := range batch {
-			wbuf = AppendResponse(wbuf, &Response{ID: batch[i].req.ID, Op: batch[i].req.Op, Status: StatusDraining})
+			p.resp = Response{ID: batch[i].req.ID, Op: batch[i].req.Op, Status: StatusDraining}
+			p.wbuf = AppendResponse(p.wbuf, &p.resp)
 		}
-		return keys, results, wbuf
+	case p.comb == nil:
+		p.execOCC(batch)
+	default:
+		for len(batch) > 0 {
+			n := 1
+			for n < len(batch) && batch[n].read == batch[0].read {
+				n++
+			}
+			if batch[0].read {
+				p.execLane(batch[:n])
+			} else {
+				p.execOCC(batch[:n])
+			}
+			batch = batch[n:]
+		}
 	}
+	for i := range p.batch {
+		if p.batch[i].ops != nil {
+			opsPool.Put(p.batch[i].ops)
+			p.batch[i].ops = nil
+		}
+	}
+}
+
+// execLane serves one read run — adjacent Gets, or a single all-Read Txn —
+// through the connection's combiner stripe: the run is submitted as one job,
+// a leader drains every stripe connection's pending jobs into a single
+// pinned snapshot cut, and the results come back in j.results. A cut that
+// trails this connection's own last write (a concurrent writer elsewhere is
+// still sealing) falls the run back to the OCC path, preserving strict
+// read-your-writes.
+func (p *proc) execLane(run []pendReq) {
+	j := &p.job
+	j.batch = run
+	j.minTS = p.lastWriteTS
+	j.fallback = false
+	p.comb.submit(j)
+	if j.fallback {
+		p.execOCC(run)
+		return
+	}
+	ri := 0
+	for i := range run {
+		r := &run[i].req
+		p.resp = Response{ID: r.ID, Op: r.Op, Status: StatusOK}
+		if r.Op == OpTxn {
+			p.resp.Reads = j.results[ri : ri+len(r.Ops)]
+			ri += len(r.Ops)
+		} else {
+			p.resp.Found, p.resp.Val = j.results[ri].Found, j.results[ri].Val
+			ri++
+		}
+		p.wbuf = AppendResponse(p.wbuf, &p.resp)
+	}
+}
+
+// execOCC runs one batch — a single request or several coalesced single-ops
+// — through admission control and the engine's transactional path, and
+// appends the responses to p.wbuf.
+func (p *proc) execOCC(batch []pendReq) {
+	s := p.s
 	// Admission: take a token, waiting at most admitWait; shed the whole
 	// batch with StatusRetry rather than queueing without bound.
 	select {
@@ -387,93 +547,104 @@ func (s *Server) exec(tx txengine.Tx, batch []pendReq, timer *time.Timer, keys [
 	default:
 		wait := s.opts.admitWait()
 		if wait < 0 {
-			return keys, results, s.shed(batch, wbuf)
+			p.shed(batch)
+			return
 		}
-		timer.Reset(wait)
+		p.timer.Reset(wait)
 		select {
 		case <-s.tokens:
-			if !timer.Stop() {
-				<-timer.C
+			if !p.timer.Stop() {
+				<-p.timer.C
 			}
-		case <-timer.C:
-			return keys, results, s.shed(batch, wbuf)
+		case <-p.timer.C:
+			p.shed(batch)
+			return
 		}
 	}
 	var err error
 	if len(batch) == 1 {
 		if batch[0].req.Op == OpTxn {
-			results, err = s.execTxn(tx, &batch[0].req, keys[:0], results)
+			err = p.execTxn(&batch[0].req)
 		} else {
-			results = s.execSingle(tx, &batch[0].req, results)
+			p.execSingle(&batch[0].req)
 		}
 	} else {
-		results, err = s.execBatch(tx, batch, keys[:0], results)
+		err = p.execBatch(batch)
 	}
 	s.tokens <- struct{}{}
+	// Writes advance the connection's read-your-writes watermark; reads
+	// leave it where it was (LastCommitTS only moves on a published write).
+	p.lastWriteTS = txengine.LastCommitTS(p.tx)
 	switch {
 	case err == nil:
+		s.cOCCServed.Add(uint64(len(batch)))
 		for i := range batch {
 			r := &batch[i].req
-			resp := Response{ID: r.ID, Op: r.Op, Status: StatusOK}
+			p.resp = Response{ID: r.ID, Op: r.Op, Status: StatusOK}
 			if r.Op == OpTxn {
-				resp.Reads = results
+				p.resp.Reads = p.results
 			} else {
-				resp.Found, resp.Val = results[i].Found, results[i].Val
+				p.resp.Found, p.resp.Val = p.results[i].Found, p.results[i].Val
 			}
-			wbuf = AppendResponse(wbuf, &resp)
+			p.wbuf = AppendResponse(p.wbuf, &p.resp)
 		}
 	case errors.Is(err, txengine.ErrBusinessAbort):
 		for i := range batch {
-			wbuf = AppendResponse(wbuf, &Response{ID: batch[i].req.ID, Op: batch[i].req.Op, Status: StatusAborted})
+			p.resp = Response{ID: batch[i].req.ID, Op: batch[i].req.Op, Status: StatusAborted}
+			p.wbuf = AppendResponse(p.wbuf, &p.resp)
 		}
 	default:
+		msg := err.Error()
 		for i := range batch {
-			wbuf = AppendResponse(wbuf, &Response{ID: batch[i].req.ID, Op: batch[i].req.Op, Status: StatusErr, Err: err.Error()})
+			p.resp = Response{ID: batch[i].req.ID, Op: batch[i].req.Op, Status: StatusErr, Err: msg}
+			p.wbuf = AppendResponse(p.wbuf, &p.resp)
 		}
 	}
-	return keys, results, wbuf
 }
 
-func (s *Server) shed(batch []pendReq, wbuf []byte) []byte {
-	s.cShed.Add(uint64(len(batch)))
+func (p *proc) shed(batch []pendReq) {
+	p.s.cShed.Add(uint64(len(batch)))
 	for i := range batch {
-		wbuf = AppendResponse(wbuf, &Response{ID: batch[i].req.ID, Op: batch[i].req.Op, Status: StatusRetry})
+		p.resp = Response{ID: batch[i].req.ID, Op: batch[i].req.Op, Status: StatusRetry}
+		p.wbuf = AppendResponse(p.wbuf, &p.resp)
 	}
-	return wbuf
 }
 
 // execSingle runs one Get/Put as a standalone auto-committed operation —
 // the cheapest execution every engine offers.
-func (s *Server) execSingle(tx txengine.Tx, r *Request, results []ReadResult) []ReadResult {
-	results = results[:0]
+func (p *proc) execSingle(r *Request) {
+	p.results = p.results[:0]
 	if r.Op == OpGet {
-		v, ok := s.m.Get(tx, r.Key)
-		return append(results, ReadResult{Found: ok, Val: v})
+		v, ok := p.s.m.Get(p.tx, r.Key)
+		p.results = append(p.results, ReadResult{Found: ok, Val: v})
+		return
 	}
-	prev, had := s.m.Put(tx, r.Key, r.Val)
-	return append(results, ReadResult{Found: had, Val: prev})
+	prev, had := p.s.m.Put(p.tx, r.Key, r.Val)
+	p.results = append(p.results, ReadResult{Found: had, Val: prev})
 }
 
 // execBatch coalesces adjacent single-ops from one connection into a single
 // transaction with every key pre-declared, so sharded engines lock the
 // batch's whole shard set (or latch exactly its keys) up front. One
 // admission token, one commit, one response flush for the whole batch.
-func (s *Server) execBatch(tx txengine.Tx, batch []pendReq, keys []uint64, results []ReadResult) ([]ReadResult, error) {
+func (p *proc) execBatch(batch []pendReq) error {
+	s := p.s
+	p.keys = p.keys[:0]
 	for i := range batch {
-		keys = append(keys, batch[i].req.Key)
+		p.keys = append(p.keys, batch[i].req.Key)
 	}
-	txengine.HintKeys(tx, keys...)
-	results = results[:0]
-	err := tx.Run(func() error {
-		results = results[:0]
+	txengine.HintKeys(p.tx, p.keys...)
+	p.results = p.results[:0]
+	err := p.tx.Run(func() error {
+		p.results = p.results[:0]
 		for i := range batch {
 			r := &batch[i].req
 			if r.Op == OpGet {
-				v, ok := s.m.Get(tx, r.Key)
-				results = append(results, ReadResult{Found: ok, Val: v})
+				v, ok := s.m.Get(p.tx, r.Key)
+				p.results = append(p.results, ReadResult{Found: ok, Val: v})
 			} else {
-				prev, had := s.m.Put(tx, r.Key, r.Val)
-				results = append(results, ReadResult{Found: had, Val: prev})
+				prev, had := s.m.Put(p.tx, r.Key, r.Val)
+				p.results = append(p.results, ReadResult{Found: had, Val: prev})
 			}
 		}
 		return nil
@@ -482,37 +653,38 @@ func (s *Server) execBatch(tx txengine.Tx, batch []pendReq, keys []uint64, resul
 		s.cBatches.Add(1)
 		s.cBatchedOps.Add(uint64(len(batch)))
 	}
-	return results, err
+	return err
 }
 
 // execTxn runs one OpTxn atomically, keys pre-declared. TxnAdd underflow
 // business-aborts the whole transaction (StatusAborted to the client,
 // nothing applied).
-func (s *Server) execTxn(tx txengine.Tx, r *Request, keys []uint64, results []ReadResult) ([]ReadResult, error) {
+func (p *proc) execTxn(r *Request) error {
+	s := p.s
+	p.keys = p.keys[:0]
 	for _, op := range r.Ops {
-		keys = append(keys, op.Key)
+		p.keys = append(p.keys, op.Key)
 	}
-	txengine.HintKeys(tx, keys...)
-	results = results[:0]
-	err := tx.Run(func() error {
-		results = results[:0]
+	txengine.HintKeys(p.tx, p.keys...)
+	p.results = p.results[:0]
+	return p.tx.Run(func() error {
+		p.results = p.results[:0]
 		for _, op := range r.Ops {
 			switch op.Kind {
 			case TxnRead:
-				v, ok := s.m.Get(tx, op.Key)
-				results = append(results, ReadResult{Found: ok, Val: v})
+				v, ok := s.m.Get(p.tx, op.Key)
+				p.results = append(p.results, ReadResult{Found: ok, Val: v})
 			case TxnWrite:
-				s.m.Put(tx, op.Key, op.Arg)
+				s.m.Put(p.tx, op.Key, op.Arg)
 			case TxnAdd:
-				v, _ := s.m.Get(tx, op.Key)
+				v, _ := s.m.Get(p.tx, op.Key)
 				delta := int64(op.Arg)
 				if delta < 0 && v < uint64(-delta) {
-					return tx.Abort()
+					return p.tx.Abort()
 				}
-				s.m.Put(tx, op.Key, v+uint64(delta))
+				s.m.Put(p.tx, op.Key, v+uint64(delta))
 			}
 		}
 		return nil
 	})
-	return results, err
 }

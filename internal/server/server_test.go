@@ -223,10 +223,11 @@ func TestServeBatchCoalescing(t *testing.T) {
 }
 
 // TestServeAdmissionSheds holds the only token so the next request must
-// shed with StatusRetry — and succeed again once the token returns.
+// shed with StatusRetry — and succeed again once the token returns. The
+// read lane is off: lane reads bypass token admission by design.
 func TestServeAdmissionSheds(t *testing.T) {
 	s, addr := startServer(t, "medley", txengine.Config{},
-		Options{Tokens: 1, AdmitWait: time.Millisecond})
+		Options{Tokens: 1, AdmitWait: time.Millisecond, NoReadLane: true})
 	c := dialT(t, addr)
 
 	<-s.tokens

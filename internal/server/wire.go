@@ -176,6 +176,15 @@ func AppendRequest(buf []byte, r *Request) []byte {
 // is freshly allocated; body may be reused. Errors never panic and never
 // depend on bytes beyond len(body).
 func DecodeRequest(body []byte) (Request, error) {
+	return DecodeRequestReuse(body, nil)
+}
+
+// DecodeRequestReuse is DecodeRequest with caller-owned op storage: an OpTxn
+// request's Ops are appended into ops[:0], so a caller recycling the slice
+// across requests decodes allocation-free once the slice has grown to the
+// workload's transaction size. The returned request's Ops aliases ops'
+// backing array (or a grown replacement); body may be reused either way.
+func DecodeRequestReuse(body []byte, ops []TxnOp) (Request, error) {
 	var r Request
 	if len(body) < reqHeaderLen {
 		return r, fmt.Errorf("server: request body %d bytes, want >= %d", len(body), reqHeaderLen)
@@ -209,15 +218,16 @@ func DecodeRequest(body []byte) (Request, error) {
 		if len(rest) != n*txnOpLen {
 			return r, fmt.Errorf("server: OpTxn payload %d bytes, want %d for %d ops", len(rest), n*txnOpLen, n)
 		}
-		r.Ops = make([]TxnOp, n)
-		for i := range r.Ops {
+		ops = ops[:0]
+		for i := 0; i < n; i++ {
 			o := rest[i*txnOpLen:]
 			kind := o[0]
 			if kind != TxnRead && kind != TxnWrite && kind != TxnAdd {
 				return r, fmt.Errorf("server: OpTxn op %d has unknown kind %d", i, kind)
 			}
-			r.Ops[i] = TxnOp{Kind: kind, Key: binary.BigEndian.Uint64(o[1:]), Arg: binary.BigEndian.Uint64(o[9:])}
+			ops = append(ops, TxnOp{Kind: kind, Key: binary.BigEndian.Uint64(o[1:]), Arg: binary.BigEndian.Uint64(o[9:])})
 		}
+		r.Ops = ops
 	default:
 		return r, fmt.Errorf("server: unknown op %d", r.Op)
 	}

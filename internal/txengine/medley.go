@@ -302,6 +302,29 @@ func (t *sessionTx) SnapshotRead(fn func()) bool {
 	return true
 }
 
+// SnapshotReadBatch implements SnapshotBatchReader: one pinned cut serves n
+// read-only closures, each its own logical snapshot transaction, with the
+// pin/seal/GC-floor bookkeeping paid once for the batch.
+func (t *sessionTx) SnapshotReadBatch(n int, each func(int, uint64)) (uint64, bool) {
+	if !t.snap.enabled() {
+		return 0, false
+	}
+	if t.s.InTx() {
+		panic("txengine: SnapshotReadBatch inside an open transaction")
+	}
+	rt, stale := t.snap.tier.beginSnapshot(t.snap.slot)
+	t.snap.rt = rt
+	defer func() {
+		t.snap.rt = 0
+		t.snap.tier.endSnapshot(t.snap.slot)
+	}()
+	for i := 0; i < n; i++ {
+		each(i, rt)
+	}
+	t.ct.countSnapshotN(stale, uint64(n))
+	return rt, true
+}
+
 // snapAgent / snapBuffering implement the snapTxn seam for snapMap: writes
 // are buffered whenever a transaction is open on the session.
 func (t *sessionTx) snapAgent() *snapAgent { return &t.snap }

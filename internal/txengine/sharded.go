@@ -503,6 +503,29 @@ func (t *shardedTx) SnapshotRead(fn func()) bool {
 	return true
 }
 
+// SnapshotReadBatch implements SnapshotBatchReader on the decorator's
+// tier-wide cut: one pin, one seal advance, n logical read transactions —
+// consistent across every shard like SnapshotRead.
+func (t *shardedTx) SnapshotReadBatch(n int, each func(int, uint64)) (uint64, bool) {
+	if !t.snap.enabled() {
+		return 0, false
+	}
+	if t.inRun {
+		panic("txengine: SnapshotReadBatch inside an open transaction")
+	}
+	rt, stale := t.snap.tier.beginSnapshot(t.snap.slot)
+	t.snap.rt = rt
+	defer func() {
+		t.snap.rt = 0
+		t.snap.tier.endSnapshot(t.snap.slot)
+	}()
+	for i := 0; i < n; i++ {
+		each(i, rt)
+	}
+	t.e.ct.countSnapshotN(stale, uint64(n))
+	return rt, true
+}
+
 // handle returns this worker's base handle for shard s, creating it (and its
 // base session) on first touch — the per-shard session pool. Creation also
 // caches the handle's manualTx and epochPinned seams, so the per-operation

@@ -82,6 +82,49 @@ func SnapshotRead(tx Tx, fn func()) bool {
 	return false
 }
 
+// SnapshotBatchReader is the batched companion of SnapshotReader: one pinned
+// cut serves n independent read-only closures, amortizing the pin, seal, and
+// GC-floor bookkeeping over the batch. Each closure is its own logical
+// snapshot transaction (n SnapshotReads in Stats); all of them observe the
+// same commit-timestamp prefix, reported as cut. Implemented by the engines
+// that implement SnapshotReader.
+type SnapshotBatchReader interface {
+	// SnapshotReadBatch pins one consistent cut and runs each(i, cut) for
+	// i in [0, n). The returned cut is the pinned commit timestamp (compare
+	// it against LastCommitTS to detect a cut trailing a handle's own
+	// writes); ok is false — and nothing runs — on engines without the tier.
+	SnapshotReadBatch(n int, each func(i int, cut uint64)) (cut uint64, ok bool)
+}
+
+// SnapshotReadBatch runs n read-only closures against one pinned snapshot
+// cut when tx's engine supports it, and reports the cut plus whether the
+// batch ran. The portable no-op contract matches SnapshotRead: on engines
+// without CapSnapshot it returns (0, false) without invoking each, so
+// callers fall back to per-closure OCC reads.
+func SnapshotReadBatch(tx Tx, n int, each func(i int, cut uint64)) (uint64, bool) {
+	if s, ok := tx.(SnapshotBatchReader); ok {
+		return s.SnapshotReadBatch(n, each)
+	}
+	return 0, false
+}
+
+// LastCommitTS reports the commit timestamp of the most recent
+// version-stamped write committed through tx — standalone or transactional —
+// or 0 when the handle has written nothing (or the engine has no snapshot
+// tier). A snapshot cut at or above this watermark is guaranteed to include
+// every write the handle has completed, which is how a serving layer keeps
+// read-your-writes while routing reads through snapshots: serve the read
+// from any cut >= LastCommitTS, fall back to an OCC read when the available
+// cut trails it (a writer elsewhere is still sealing).
+func LastCommitTS(tx Tx) uint64 {
+	if st, ok := tx.(snapTxn); ok {
+		if a := st.snapAgent(); a.enabled() {
+			return a.lastTS
+		}
+	}
+	return 0
+}
+
 // snapGCPeriod is how many chain publishes elapse between GC-floor
 // recomputations. The floor only ever advances, so a stale floor costs
 // memory (longer chains), never correctness.
@@ -345,6 +388,7 @@ type snapAgent struct {
 	tier    *snapTier
 	slot    *snapSlot
 	rt      uint64 // nonzero while inside SnapshotRead: the pinned cut
+	lastTS  uint64 // commit ts of the handle's newest published write (see LastCommitTS)
 	pending []pendingWrite
 }
 
@@ -378,6 +422,7 @@ func (a *snapAgent) note(ch *snapChains, k, uval uint64, aval any, del, buffered
 	if !buffered {
 		ts := a.tier.beginCommit(a.slot)
 		ch.publish(k, ts, uval, aval, del)
+		a.lastTS = ts
 		a.tier.endCommit(a.slot)
 		return
 	}
@@ -398,6 +443,7 @@ func (a *snapAgent) publishAll(ts uint64) {
 		p.aval = nil
 	}
 	a.pending = a.pending[:0]
+	a.lastTS = ts
 }
 
 // snapTxn is the internal seam a Tx handle implements to route snapMap

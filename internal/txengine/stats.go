@@ -137,10 +137,18 @@ func (c *counters) snapshot() Stats {
 // is a committed read-only transaction) that by construction cannot abort
 // or retry, plus the snapshot-specific counters.
 func (c *counters) countSnapshot(stale bool) {
-	c.commits.Add(1)
-	c.snapReads.Add(1)
+	c.countSnapshotN(stale, 1)
+}
+
+// countSnapshotN accounts n logical snapshot-read transactions served from
+// one pinned cut (SnapshotReadBatch): each counts as its own commit and
+// snapshot read, staleness included — the cut is shared, the transactions
+// are not.
+func (c *counters) countSnapshotN(stale bool, n uint64) {
+	c.commits.Add(n)
+	c.snapReads.Add(n)
 	if stale {
-		c.snapStale.Add(1)
+		c.snapStale.Add(n)
 	}
 }
 

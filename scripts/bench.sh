@@ -24,6 +24,12 @@
 # win at equal-or-better tail latency. Each row's server is drained with
 # SIGTERM and must exit clean.
 #
+# PR 9 adds the serving-layer microbenchmarks (internal/server: wire
+# encode/decode alloc counts and loopback Get round-trips, lane on vs off)
+# and the read-lane serving A/B: the same conns/pipeline at -readpct 90 and
+# 99, read lane on vs -noreadlane, so the JSON pins the snapshot fast
+# lane's throughput win and shows the write path's tail is not regressed.
+#
 # Committed BENCH_N.json files for earlier PRs are history, not scratch
 # space: writing over one would silently rewrite the perf trajectory, so the
 # script refuses unless the target is this PR's own file or an uncommitted
@@ -31,7 +37,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pr=8
+pr=9
 out="${1:-BENCH_${pr}.json}"
 benchtime="${BENCHTIME:-0.5s}"
 count="${COUNT:-1}"
@@ -52,10 +58,10 @@ fi
 
 raw="$(mktemp)"
 bindir="$(mktemp -d)"
-trap 'rm -f "$raw" "$raw.results" "$raw.ab" "$raw.serve" "$raw.srvlog"; rm -rf "$bindir"' EXIT
+trap 'rm -f "$raw" "$raw.results" "$raw.ab" "$raw.serve" "$raw.readab" "$raw.srvlog"; rm -rf "$bindir"' EXIT
 
 go test -run '^$' -bench '.' -benchmem -benchtime "$benchtime" -count "$count" \
-  ./internal/txengine/ | tee "$raw"
+  ./internal/txengine/ ./internal/server/ | tee "$raw"
 
 awk '
   /^Benchmark/ {
@@ -94,11 +100,12 @@ echo "# cache A/B (readpct 95, medley-sharded sh4): OCC control vs -snapshot"
 # clean-exit check.
 go build -o "$bindir/txserver" ./cmd/txserver
 go build -o "$bindir/txload" ./cmd/txload
-run_serve() { # $1 = mode label, $2 = server -batch, $3 = txload -pipeline
-  "$bindir/txserver" -addr "$serveaddr" -shards 4 -batch "$2" > "$raw.srvlog" 2>&1 &
+run_serve() { # $1 = mode label, $2 = server -batch, $3 = txload -pipeline,
+              # $4 = extra txserver flags, $5 = extra txload flags
+  "$bindir/txserver" -addr "$serveaddr" -shards 4 -batch "$2" ${4:-} > "$raw.srvlog" 2>&1 &
   local srvpid=$!
   "$bindir/txload" -addr "$serveaddr" -conns "$serveconns" -pipeline "$3" \
-    -dur "$servedur" -warmup "$servewarm" -lat -json |
+    -dur "$servedur" -warmup "$servewarm" -lat -json ${5:-} |
     sed "s/^{/{\"mode\": \"$1\", /" | tr -d '\n'
   kill -TERM "$srvpid"
   wait "$srvpid"
@@ -117,9 +124,22 @@ echo "# serving A/B (txserver medley-sharded sh4, $serveconns conns): pipelining
 } > "$raw.serve"
 sed 's/^    //' "$raw.serve"
 
+# Read-lane serving A/B: identical conns/pipeline, snapshot read lane on vs
+# -noreadlane, at a read-mostly mix (readpct 90) and a read-dominated one
+# (readpct 99). The lane rows must beat their control on req/s; the 90/10
+# rows also carry the write path, whose p99 must not regress.
+echo "# serving read A/B (txserver medley-sharded sh4, $serveconns conns, pipeline 8): read lane vs -noreadlane"
+{
+  echo -n '    '; run_serve r90_lane   0 8 ""           "-readpct 90"; echo ','
+  echo -n '    '; run_serve r90_nolane 0 8 -noreadlane  "-readpct 90"; echo ','
+  echo -n '    '; run_serve r99_lane   0 8 ""           "-readpct 99"; echo ','
+  echo -n '    '; run_serve r99_nolane 0 8 -noreadlane  "-readpct 99"; echo
+} > "$raw.readab"
+sed 's/^    //' "$raw.readab"
+
 {
   echo '{'
-  echo '  "suite": "internal/txengine hot-path microbenchmarks + OCC-vs-snapshot read pair + end-to-end serving A/B",'
+  echo '  "suite": "txengine + serving hot-path microbenchmarks + OCC-vs-snapshot read pair + end-to-end serving A/Bs (pipelining/batching, read lane)",'
   echo "  \"pr\": $pr,"
   echo "  \"go\": \"$(go env GOVERSION)\","
   echo "  \"host_cpus\": $(getconf _NPROCESSORS_ONLN),"
@@ -136,6 +156,9 @@ sed 's/^    //' "$raw.serve"
   echo '  ],'
   echo '  "serving_ab": ['
   cat "$raw.serve"
+  echo '  ],'
+  echo '  "serving_read_ab": ['
+  cat "$raw.readab"
   echo '  ]'
   echo '}'
 } > "$out"
