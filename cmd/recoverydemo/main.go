@@ -15,9 +15,19 @@
 //
 // Examples:
 //
+// -crash <point> moves the failure from the quiet spot between transactions
+// to a named chaos point INSIDE the persistence machinery (see
+// internal/chaos): the armed point crashes the device fleet mid-operation —
+// mid-flush, mid-commit-record, mid-write-back — and the same audits must
+// still hold. Exits 2 if the named point never fires.
+//
+// Examples:
+//
 //	recoverydemo                                   # txMontage, one device
 //	recoverydemo -engine txmontage-sharded -shards 8
 //	recoverydemo -engine ponefile                  # eager persistence: nothing lost
+//	recoverydemo -engine txmontage-sharded -shards 4 -crash txmontage.advance.mid-shard
+//	recoverydemo -engine ponefile -crash ponefile.commit.mark-volatile
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"fmt"
 	"os"
 
+	"medley/internal/chaos"
 	"medley/internal/pnvm"
 	"medley/internal/txengine"
 )
@@ -41,6 +52,7 @@ func main() {
 	engine := flag.String("engine", "txmontage", "persistent engine to demo (txmontage | txmontage-sharded | ponefile)")
 	shards := flag.Int("shards", 0, "shard count for sharded engines (0: engine default)")
 	accounts := flag.Uint64("accounts", 8, "account pairs to open")
+	crashPoint := flag.String("crash", "", "chaos point to crash at during the unsynced phase (empty: crash between transactions)")
 	flag.Parse()
 
 	cfg := txengine.Config{Latencies: pnvm.DefaultLatencies(), Shards: *shards}
@@ -93,14 +105,45 @@ func main() {
 		eng.Name(), *accounts, len(devs))
 
 	// More transfers that are NOT synced: a buffered engine may lose them,
-	// but only whole transactions at a time.
-	for a := uint64(0); a < *accounts; a++ {
-		transfer(a, 50)
+	// but only whole transactions at a time. With -crash armed, one of them
+	// (or the sync that follows) dies mid-operation at the named point.
+	if *crashPoint != "" {
+		if err := chaos.Arm(*crashPoint, chaos.Fault{Kind: chaos.Crash, Action: func() {
+			for _, d := range devs {
+				d.Crash()
+			}
+		}}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
-	fmt.Printf("ran %d more transfers without sync; crashing all %d device(s)...\n",
-		*accounts, len(devs))
-
-	eng.Close()
+	crashed := false
+	ran := uint64(0)
+	for a := uint64(0); a < *accounts && !crashed; a++ {
+		a := a
+		crashed = runToCrash(func() { transfer(a, 50) })
+		if !crashed {
+			ran++
+		}
+	}
+	if *crashPoint != "" {
+		if !crashed {
+			// The point must be on the flush/advance path: force it with a sync.
+			crashed = runToCrash(func() { p.Sync() })
+		}
+		if !crashed {
+			fmt.Fprintf(os.Stderr, "-crash %s never fired (transfers and sync both completed)\n", *crashPoint)
+			os.Exit(2)
+		}
+		chaos.DisarmAll()
+		fmt.Printf("ran %d more transfers without sync; crashed mid-operation at %s\n", ran, *crashPoint)
+		// The engine died mid-operation; it is not closed, just abandoned —
+		// exactly what a process crash leaves behind.
+	} else {
+		fmt.Printf("ran %d more transfers without sync; crashing all %d device(s)...\n",
+			*accounts, len(devs))
+		eng.Close()
+	}
 	dumps := pnvm.DumpAll(devs)
 	total := 0
 	for _, d := range dumps {
@@ -168,4 +211,19 @@ func must(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// runToCrash runs fn, converting a chaos crash panic — the simulated process
+// death — into a true return. Any other panic propagates.
+func runToCrash(fn func()) (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := chaos.AsCrash(r); !ok {
+				panic(r)
+			}
+			crashed = true
+		}
+	}()
+	fn()
+	return false
 }

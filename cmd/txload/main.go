@@ -23,6 +23,14 @@
 // latch path under end-to-end network load. Underflowed transfers surface
 // as ABORTED, which the counts report separately.
 //
+// Shed responses (RETRY, and DRAINING with a reconnect first) are honored:
+// the exact request is re-sent after a capped exponential backoff with
+// jitter, and no fresh work is injected while a retry is waiting — backoff
+// genuinely reduces the offered load instead of shifting it. Re-sends are
+// tallied as retries. A connection that fails mid-flight is redialed with
+// the same backoff; requests that were in flight are tallied as unknown
+// (their outcome is ambiguous, so they are neither re-sent nor counted ok).
+//
 // Exits non-zero if the server acknowledged nothing (a smoke-test guard).
 //
 // Examples:
@@ -49,6 +57,7 @@ import (
 
 type counts struct {
 	ok, retry, draining, aborted, errs uint64
+	retries, unknown, reconnects       uint64
 }
 
 func main() {
@@ -153,6 +162,9 @@ func main() {
 			total.draining += got.draining
 			total.aborted += got.aborted
 			total.errs += got.errs
+			total.retries += got.retries
+			total.unknown += got.unknown
+			total.reconnects += got.reconnects
 			if h != nil {
 				merged.Merge(h)
 			}
@@ -176,6 +188,7 @@ func main() {
 			"readpct": *readPct, "txnpct": *txnPct, "zipf": *zipfS, "rate": *rate,
 			"ok": total.ok, "retry": total.retry, "draining": total.draining,
 			"aborted": total.aborted, "errors": total.errs,
+			"retries": total.retries, "unknown": total.unknown, "reconnects": total.reconnects,
 			"secs": el.Seconds(), "throughput": tput,
 		}
 		if *lat {
@@ -184,8 +197,9 @@ func main() {
 		}
 		json.NewEncoder(os.Stdout).Encode(out)
 	} else {
-		fmt.Printf("txload: %d conns, ok=%d retry=%d draining=%d aborted=%d errors=%d in %.2fs — %.0f req/s",
-			*conns, total.ok, total.retry, total.draining, total.aborted, total.errs, el.Seconds(), tput)
+		fmt.Printf("txload: %d conns, ok=%d retry=%d retries=%d draining=%d aborted=%d unknown=%d errors=%d reconnects=%d in %.2fs — %.0f req/s",
+			*conns, total.ok, total.retry, total.retries, total.draining, total.aborted,
+			total.unknown, total.errs, total.reconnects, el.Seconds(), tput)
 		if *lat {
 			fmt.Printf(" p50=%v p99=%v", p50, p99)
 		}
@@ -206,40 +220,117 @@ const txnAccounts = uint64(1024)
 const txnSeedBalance = uint64(1_000_000)
 
 // seedAccounts puts the starting balance on every transfer account over one
-// pipelined connection before the drivers start.
+// pipelined connection before the drivers start. Seed Puts are idempotent
+// constants, so a window that is shed or loses its connection (including to
+// an injected fault) is simply re-sent after a backoff.
 func seedAccounts(addr string, accounts uint64) error {
+	const window = 64
+	const maxAttempts = 8
+	rng := rand.New(rand.NewPCG(1, 0))
 	c, err := server.Dial(addr, 5*time.Second)
 	if err != nil {
 		return err
 	}
-	defer c.Close()
-	const window = 64
+	defer func() {
+		if c != nil {
+			c.Close()
+		}
+	}()
+	drop := func() {
+		c.Close()
+		c = nil
+	}
 	for lo := uint64(0); lo < accounts; lo += window {
 		hi := min(lo+window, accounts)
-		for k := lo; k < hi; k++ {
-			c.SendPut(k, txnSeedBalance)
-		}
-		if err := c.Flush(); err != nil {
-			return err
-		}
-		for k := lo; k < hi; k++ {
-			r, err := c.Recv()
-			if err != nil {
-				return err
+		var lastErr error
+	attempt:
+		for a := 0; ; a++ {
+			if a == maxAttempts {
+				return fmt.Errorf("seed window %d..%d: %w", lo, hi, lastErr)
 			}
-			if !r.OK() {
-				return fmt.Errorf("seed put %d: status %d %s", k, r.Status, r.Err)
+			if a > 0 {
+				time.Sleep(retryBackoff(rng, a-1))
 			}
+			if c == nil {
+				if c, err = server.Dial(addr, 5*time.Second); err != nil {
+					lastErr = err
+					continue
+				}
+			}
+			for k := lo; k < hi; k++ {
+				c.SendPut(k, txnSeedBalance)
+			}
+			if err := c.Flush(); err != nil {
+				lastErr = err
+				drop()
+				continue
+			}
+			shed := false
+			for k := lo; k < hi; k++ {
+				r, err := c.Recv()
+				if err != nil {
+					lastErr = err
+					drop()
+					continue attempt
+				}
+				switch {
+				case r.OK():
+				case r.Status == server.StatusRetry || r.Status == server.StatusDraining:
+					shed = true // note it, but keep the response stream in step
+				default:
+					return fmt.Errorf("seed put %d: status %d %s", k, r.Status, r.Err)
+				}
+			}
+			if !shed {
+				break
+			}
+			lastErr = fmt.Errorf("window shed by admission control")
 		}
 	}
 	return nil
 }
 
+// reqDesc is one request held for its whole lifetime: in flight (the
+// in-order FIFO the server's response stream is matched against), or queued
+// for re-send after a shed response. Keeping the full request — not just a
+// send timestamp — is what makes honoring StatusRetry possible.
+type reqDesc struct {
+	isTxn    bool
+	isGet    bool
+	key, val uint64
+	ops      []server.TxnOp
+	t0       time.Time // first send, for end-to-end latency (zero: not sampled)
+	measured bool      // first sent inside the measurement window
+	tries    int       // shed count so far, drives the backoff exponent
+	nextAt   time.Time // earliest re-send time while queued for retry
+}
+
+// retryBackoff is the capped-exponential, jittered delay before re-send k
+// (k=0 after the first shed): half deterministic plus a uniform random half,
+// so drivers shed together don't storm back together.
+func retryBackoff(rng *rand.Rand, k int) time.Duration {
+	const base, cap = time.Millisecond, 100 * time.Millisecond
+	d := base
+	for i := 0; i < k && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	return d/2 + time.Duration(rng.Int64N(int64(d/2)+1))
+}
+
 // drive runs one connection's closed- or open-loop window until the
-// deadline. Responses arrive in request order (a server guarantee), so
-// latency matching is a FIFO of send timestamps. Samples and counts before
-// measureStart are discarded; a sample belongs to the measured window if
-// its REQUEST was sent inside it.
+// deadline. Responses arrive in request order (a server guarantee), so the
+// in-flight window is a FIFO of request descriptors. Shed requests
+// (RETRY/DRAINING — explicitly not executed) are queued and re-sent after a
+// jittered backoff, during which no fresh work is injected; a DRAINING
+// response additionally recycles the connection once the window empties. A
+// mid-flight connection failure redials with the same backoff and counts
+// the in-flight requests as unknown. Samples and counts before measureStart
+// are discarded; a sample belongs to the measured window if its request was
+// first sent inside it, and a retried request's latency runs from its first
+// send — backoff waits are part of the price the client paid.
 func drive(addr string, window, tid, readPct, txnPct int, accounts uint64, zipfS float64, keys, seed uint64,
 	connRate int, lat bool, measureStart, deadline time.Time) (*server.Conn, *workload.Hist, counts) {
 	var got counts
@@ -259,12 +350,16 @@ func drive(addr string, window, tid, readPct, txnPct int, accounts uint64, zipfS
 		h = &workload.Hist{}
 	}
 
-	// FIFO of send timestamps for the in-flight window (zero time: sent
-	// during warm-up, discard its sample).
-	stamps := make([]time.Time, 0, window)
-	var txops []server.TxnOp
+	pending := make([]*reqDesc, 0, window) // in flight, response order
+	var retryq []*reqDesc                  // shed, waiting out a backoff
+	recycle := false                       // server is draining: redial once the window empties
 	var txSeq uint64
-	send := func(now time.Time) {
+
+	newDesc := func(now time.Time) *reqDesc {
+		d := &reqDesc{measured: !now.Before(measureStart)}
+		if lat && d.measured {
+			d.t0 = now
+		}
 		k := draw()
 		if txnPct > 0 && rng.IntN(100) < txnPct {
 			// A transfer: read the source, move one unit between two
@@ -276,53 +371,104 @@ func drive(addr string, window, tid, readPct, txnPct int, accounts uint64, zipfS
 				to = (to + 1) % accounts
 			}
 			txSeq++
-			txops = append(txops[:0],
-				server.TxnOp{Kind: server.TxnRead, Key: from},
+			d.isTxn = true
+			d.ops = []server.TxnOp{
+				{Kind: server.TxnRead, Key: from},
 				server.AddDelta(from, -1),
 				server.AddDelta(to, +1),
-				server.TxnOp{Kind: server.TxnWrite, Key: accounts + uint64(tid)%accounts, Arg: txSeq},
-			)
-			c.SendTxn(txops)
+				{Kind: server.TxnWrite, Key: accounts + uint64(tid)%accounts, Arg: txSeq},
+			}
 		} else if rng.IntN(100) < readPct {
-			c.SendGet(k)
+			d.isGet = true
+			d.key = k
 		} else {
-			c.SendPut(k, k*3+1)
+			d.key, d.val = k, k*3+1
 		}
-		if lat && !now.Before(measureStart) {
-			stamps = append(stamps, now)
-		} else {
-			stamps = append(stamps, time.Time{})
+		return d
+	}
+	writeDesc := func(d *reqDesc) {
+		switch {
+		case d.isTxn:
+			c.SendTxn(d.ops)
+		case d.isGet:
+			c.SendGet(d.key)
+		default:
+			c.SendPut(d.key, d.val)
+		}
+		pending = append(pending, d)
+	}
+
+	// reconnect redials after an I/O failure, backing off between attempts.
+	// Everything in flight has an ambiguous outcome — the server may have
+	// executed it and lost only the acknowledgment — so those requests are
+	// tallied as unknown and NOT re-sent (transfers aren't idempotent).
+	reconnect := func() bool {
+		for _, d := range pending {
+			if d.measured {
+				got.unknown++
+			}
+		}
+		pending = pending[:0]
+		c.Close()
+		for k := 0; ; k++ {
+			time.Sleep(retryBackoff(rng, k))
+			if !time.Now().Before(deadline) || k >= 5 {
+				got.errs++
+				return false
+			}
+			if nc, err := server.Dial(addr, 5*time.Second); err == nil {
+				c = nc
+				got.reconnects++
+				recycle = false
+				return true
+			}
 		}
 	}
+
 	recv := func() bool {
 		r, err := c.Recv()
 		now := time.Now()
-		t0 := stamps[0]
-		stamps = stamps[:copy(stamps, stamps[1:])]
+		d := pending[0]
+		pending = pending[:copy(pending, pending[1:])]
 		if err != nil {
-			got.errs++
-			return false
+			if d.measured {
+				got.unknown++
+			}
+			return false // caller redials; the rest of the window is marked there
 		}
-		measured := !t0.IsZero() || (!lat && !now.Before(measureStart))
-		if !measured {
+		switch r.Status {
+		case server.StatusRetry, server.StatusDraining:
+			// Explicitly not executed: safe to re-send, after a backoff.
+			if d.measured {
+				if r.Status == server.StatusRetry {
+					got.retry++
+				} else {
+					got.draining++
+					recycle = true // this instance is going away; redial when drained
+				}
+			} else if r.Status == server.StatusDraining {
+				recycle = true
+			}
+			d.nextAt = now.Add(retryBackoff(rng, d.tries))
+			d.tries++
+			retryq = append(retryq, d)
 			return true
 		}
-		if lat && r.Status == server.StatusOK {
-			h.Record(now.Sub(t0))
+		if !d.measured {
+			return true
+		}
+		if lat && r.Status == server.StatusOK && !d.t0.IsZero() {
+			h.Record(now.Sub(d.t0))
 		}
 		switch r.Status {
 		case server.StatusOK:
 			got.ok++
-		case server.StatusRetry:
-			got.retry++
-		case server.StatusDraining:
-			got.draining++
 		case server.StatusAborted:
 			got.aborted++
 		default:
 			got.errs++
 		}
-		return r.Status != server.StatusDraining
+		return true
 	}
 
 	// Open-loop pacing: this connection's share of the aggregate rate.
@@ -337,41 +483,75 @@ func drive(addr string, window, tid, readPct, txnPct int, accounts uint64, zipfS
 			break
 		}
 		sent := false
-		for len(stamps) < window {
+		for len(pending) < window {
+			if len(retryq) > 0 {
+				// Re-sends take priority over fresh work, and while the head
+				// retry is still backing off nothing fresh is injected in its
+				// place — shed load genuinely drops instead of shifting.
+				d := retryq[0]
+				if now.Before(d.nextAt) {
+					break
+				}
+				retryq = retryq[:copy(retryq, retryq[1:])]
+				got.retries++
+				writeDesc(d)
+				sent = true
+				continue
+			}
 			if interval > 0 {
 				if now.Before(next) {
 					break
 				}
 				next = next.Add(interval)
 			}
-			send(now)
+			writeDesc(newDesc(now))
 			sent = true
-			if interval == 0 && len(stamps) < window {
+			if interval == 0 && len(pending) < window {
 				now = time.Now() // keep closed-loop stamps honest while filling
 			}
 		}
 		if sent {
 			if err := c.Flush(); err != nil {
-				got.errs++
-				return c, h, got
+				if !reconnect() {
+					return c, h, got
+				}
+				continue
 			}
 		}
-		if len(stamps) == 0 {
-			// Open loop, ahead of schedule: sleep until the next injection.
-			time.Sleep(time.Until(next))
+		if len(pending) == 0 {
+			if recycle {
+				// Drained the window of a draining server; move to a fresh
+				// instance (or fail out) before re-sending the queue.
+				if !reconnect() {
+					return c, h, got
+				}
+				continue
+			}
+			// Ahead of schedule (open loop) or backing off (retry queue):
+			// sleep until the next thing is due.
+			wake := deadline
+			if interval > 0 && next.Before(wake) {
+				wake = next
+			}
+			if len(retryq) > 0 && retryq[0].nextAt.Before(wake) {
+				wake = retryq[0].nextAt
+			}
+			time.Sleep(time.Until(wake))
 			continue
 		}
 		if !recv() {
-			return c, h, got
+			if !reconnect() {
+				return c, h, got
+			}
 		}
 	}
 	// Deadline passed: drain what's still in flight so the server isn't left
 	// writing into a closed connection, but record nothing more.
-	for len(stamps) > 0 {
+	for len(pending) > 0 {
 		if _, err := c.Recv(); err != nil {
 			break
 		}
-		stamps = stamps[1:]
+		pending = pending[1:]
 	}
 	return c, h, got
 }

@@ -25,6 +25,8 @@
 //	txserver -engine medley -addr 127.0.0.1:9000 -tokens 2
 //	txserver -noreadlane                       # A/B control: OCC-only reads
 //	txserver -pprof 127.0.0.1:6060             # profiling endpoints
+//	txserver -idletimeout 30s -writetimeout 5s # cut dead/stalled connections
+//	txserver -chaos 'server.frame.write=torn@every=40'   # fault injection
 package main
 
 import (
@@ -38,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"medley/internal/chaos"
 	"medley/internal/pnvm"
 	"medley/internal/server"
 	"medley/internal/txengine"
@@ -56,6 +59,10 @@ func main() {
 	noLatch := flag.Bool("nolatch", false, "disable key-granular cross-shard latching on sharded engines")
 	noReadLane := flag.Bool("noreadlane", false, "disable the snapshot read fast lane (A/B control: every request runs OCC)")
 	combiners := flag.Int("combiners", 0, "read-lane combiner stripes (0: host-sized default)")
+	idleTimeout := flag.Duration("idletimeout", 0, "close connections idle longer than this between frames (0: never)")
+	writeTimeout := flag.Duration("writetimeout", 0, "per-response write deadline (0: none)")
+	chaosSpecs := flag.String("chaos", os.Getenv("MEDLEY_CHAOS"),
+		"comma-separated fault specs to arm, name=kind[:arg][@after=N][@every=N][@times=N] (default: $MEDLEY_CHAOS)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty: off)")
 	flag.Parse()
 
@@ -73,10 +80,29 @@ func main() {
 	}
 	// Main owns the engine: it is closed below, after the drain completes and
 	// the final stats are printed.
+	// Arm any requested fault points before serving; a crash spec takes the
+	// engine's device fleet down with the process when the engine persists.
+	if *chaosSpecs != "" {
+		if p, ok := eng.(txengine.Persister); ok {
+			devs := p.Devices()
+			chaos.SetCrashAction(func() {
+				for _, d := range devs {
+					d.Crash()
+				}
+			})
+		}
+		if err := chaos.ArmSpecs(*chaosSpecs); err != nil {
+			eng.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("txserver: chaos armed: %s\n", *chaosSpecs)
+	}
 	s, err := server.New(eng, server.Options{
 		BatchMax: *batch, Tokens: *tokens, AdmitWait: *admitWait,
 		QueueDepth: *queue, DrainGrace: *grace,
 		NoReadLane: *noReadLane, ReadCombiners: *combiners,
+		IdleTimeout: *idleTimeout, WriteTimeout: *writeTimeout,
 	})
 	if err != nil {
 		eng.Close()
@@ -120,8 +146,8 @@ func main() {
 	c := s.Counters()
 	fmt.Printf("txserver: engine commits=%d aborts=%d retries=%d xshard=%d fphit=%d latchw=%d\n",
 		st.Commits, st.Aborts, st.Retries, st.CrossShardRestarts, st.FootprintHits, st.LatchWaits)
-	fmt.Printf("txserver: server conns=%d requests=%d shed=%d drained=%d batches=%d batchedops=%d\n",
-		c.Conns, c.Requests, c.Shed, c.Drained, c.Batches, c.BatchedOps)
+	fmt.Printf("txserver: server conns=%d requests=%d shed=%d drained=%d idleclosed=%d batches=%d batchedops=%d\n",
+		c.Conns, c.Requests, c.Shed, c.Drained, c.IdleClosed, c.Batches, c.BatchedOps)
 	fmt.Printf("txserver: readlane snapserved=%d combined=%d occserved=%d\n",
 		c.SnapServed, c.Combined, c.OCCServed)
 	eng.Close()

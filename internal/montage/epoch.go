@@ -42,8 +42,23 @@ import (
 	"sync/atomic"
 	"time"
 
+	"medley/internal/chaos"
 	"medley/internal/core"
 	"medley/internal/pnvm"
+)
+
+// Fault-injection points on the epoch flush/advance path. The flush points
+// sit inside one device's Flush (batch write-backs, the window between batch
+// durability and the frontier marker, and the marker's own volatile window);
+// the advance points sit in AdvanceTogether, where a crash tears the domain
+// between shards' flushes. All of these sites return nothing, so only
+// crash/delay faults are meaningful.
+var (
+	cpFlushBatch          = chaos.At("txmontage.flush.batch")
+	cpFlushPreMarker      = chaos.At("txmontage.flush.pre-marker")
+	cpFlushMarkerVolatile = chaos.At("txmontage.flush.marker-volatile")
+	cpAdvancePreFlush     = chaos.At("txmontage.advance.pre-flush")
+	cpAdvanceMidShard     = chaos.At("txmontage.advance.mid-shard")
 )
 
 // firstEpoch leaves room for the e-2 recovery cut arithmetic.
@@ -264,11 +279,13 @@ func (es *EpochSys) Flush(epoch uint64) {
 		ids := st.pend[epoch]
 		delete(st.pend, epoch)
 		st.mu.Unlock()
+		cpFlushBatch.Hit() // crash here loses this stripe's (and later stripes') write-backs
 		for _, id := range ids {
 			es.dev.WriteBack(id)
 		}
 	}
 	es.dev.Fence()
+	cpFlushPreMarker.Hit() // crash here: batch durable, marker missing — epoch cut falls before it
 	// The frontier marker is only meaningful if it becomes durable after
 	// the batch: recovery treats a missing marker as "this epoch never
 	// fully persisted here" and cuts before it.
@@ -279,6 +296,7 @@ func (es *EpochSys) Flush(epoch uint64) {
 		}
 		panic("montage: frontier marker write failed: " + err.Error())
 	}
+	cpFlushMarkerVolatile.Hit() // crash here: marker written but never durable
 	es.dev.WriteBack(id)
 	es.dev.Fence()
 	// The new marker durably supersedes the previous one; drop it so
@@ -324,8 +342,13 @@ func AdvanceTogether(clock *EpochClock, systems []*EpochSys) {
 	defer clock.advanceMu.Unlock()
 	e := clock.Tick()
 	clock.WaitNotPinnedBelow(e - 1)
+	cpAdvancePreFlush.Hit() // crash here: epoch ticked, nothing flushed
 	for _, es := range systems {
 		es.Flush(e - 2)
+		// Fires between one shard's flush and the next, so a crash tears
+		// the domain mid-advance: some devices carry this epoch's marker,
+		// the rest don't, and recovery must cut at the minimum frontier.
+		cpAdvanceMidShard.Hit()
 	}
 }
 

@@ -16,13 +16,18 @@
 //     path: it logs the transaction's writes to NVM, fences, applies them,
 //     writes back every dirty line, and fences again before the transaction
 //     returns — which is why it trails periodic persistence by orders of
-//     magnitude. Payload persistence is per-record (StagePersist), without
-//     a commit record: a crash landing *inside* WriteTx's persistence
-//     window could recover a prefix of one transaction's records. Real
-//     OneFile closes that window with its redo log; the simulated device
-//     only crashes between transactions (pnvm.Device.Crash is external),
-//     so the failure-atomicity the recovery tests assert is the one this
-//     model can express.
+//     magnitude. Persistence is failure-atomic at every instant via a
+//     redo-log commit record: each committing transaction tags its payload
+//     records and retirement marks with a fresh commit serial, makes them
+//     durable, and only then writes back a reserved commit record carrying
+//     that serial. Recovery (LiveKV/Reanchor) computes the durable commit
+//     cut — the highest serial with a durable commit record — and replays
+//     exactly the transactions at or below it: payload records beyond the
+//     cut are torn (scrubbed off media), retirement marks beyond it are
+//     ignored (the retiree stays live). A crash at any point of the window
+//     therefore recovers either all of a transaction's records or none,
+//     which the chaos crash-point sweep in txengine's conformance suite
+//     proves point by point.
 //
 // Substitution note (documented in DESIGN.md): real OneFile achieves
 // wait-freedom by publishing each transaction as a closure that all threads
@@ -38,8 +43,29 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"medley/internal/chaos"
 	"medley/internal/pnvm"
 )
+
+// Fault-injection points spanning POneFile's WriteTx persistence window, in
+// protocol order. Crash faults at pre-log through mark-volatile land before
+// the commit point (recovery must surface none of the transaction); crashes
+// at post-mark or gc land after it (recovery must surface all of it).
+var (
+	cpPreLog       = chaos.At("ponefile.commit.pre-log")
+	cpPayload      = chaos.At("ponefile.commit.payload")       // after each payload write-back
+	cpRetire       = chaos.At("ponefile.commit.retire")        // after each retire write-back
+	cpPreMark      = chaos.At("ponefile.commit.pre-mark")      // payloads+retires durable, no commit record
+	cpMarkVolatile = chaos.At("ponefile.commit.mark-volatile") // commit record written, not yet written back
+	cpPostMark     = chaos.At("ponefile.commit.post-mark")     // commit point passed
+	cpGC           = chaos.At("ponefile.commit.gc")            // before dead-record GC
+)
+
+// CommitKey is the reserved record key under which POneFile logs commit
+// records. Each commit record's Epoch field carries the transaction's commit
+// serial; the highest serial with a durable commit record is the recovery
+// cut. Payload keys must stay below it (StagePersist enforces this).
+const CommitKey = ^uint64(0)
 
 // STM is a OneFile-lite transaction manager. All structures attached to one
 // STM instance commit through the same global sequence.
@@ -63,6 +89,12 @@ type STM struct {
 	staged  []stagedKV
 	keyIDs  map[persistKey]uint64
 	nextSID atomic.Uint64
+
+	// redo-log commit state, guarded by wlock: the serial of the newest
+	// committed transaction (its commit record is durable) and the id of
+	// that commit record, so GC can drop the superseded one.
+	serial     uint64
+	lastCommit uint64
 
 	commits atomic.Uint64
 	aborts  atomic.Uint64
@@ -121,6 +153,9 @@ func (st *STM) WriteTx(fn func() error) error {
 	st.dirty = 0
 	st.seq.Add(1) // odd: readers hold off
 	err := fn()
+	if err == nil && st.dev != nil {
+		err = st.persist()
+	}
 	if err != nil {
 		for i := len(st.undo) - 1; i >= 0; i-- {
 			st.undo[i]()
@@ -129,59 +164,155 @@ func (st *STM) WriteTx(fn func() error) error {
 		st.aborts.Add(1)
 		return err
 	}
-	if st.dev != nil {
-		// POneFile: persist eagerly on the critical path. Dirty lines
-		// without a staged payload pay the redo-log cost only (transient
-		// bookkeeping records, dropped immediately).
-		for i := len(st.staged); i < st.dirty; i++ {
-			id, werr := st.dev.Write(0, nil, 0)
-			if werr == nil {
-				st.dev.WriteBack(id)
-				st.dev.Delete(id)
-			}
-		}
-		// Staged payloads become durable records before the transaction
-		// returns: write + write back each, fence.
-		ids := make([]uint64, len(st.staged))
-		for i, p := range st.staged {
-			if p.val == nil {
-				continue
-			}
-			if id, werr := st.dev.Write(p.key, p.val, 0); werr == nil {
-				st.dev.WriteBack(id)
-				ids[i] = id
-			}
-		}
-		st.dev.Fence()
-		// Then durably retire every superseded or removed record. A crash
-		// between the fences leaves both versions live; recovery keeps the
-		// newer allocation (see LiveKV).
-		claim := st.seq.Load()
-		var dead []uint64
-		for i, p := range st.staged {
-			pk := persistKey{p.sid, p.key}
-			if old, ok := st.keyIDs[pk]; ok {
-				if rerr := st.dev.Retire(old, 1, claim); rerr == nil {
-					st.dev.WriteBack(old)
-					dead = append(dead, old)
-				}
-			}
-			if p.val == nil {
-				delete(st.keyIDs, pk)
-			} else if ids[i] != 0 {
-				st.keyIDs[pk] = ids[i]
-			}
-		}
-		st.dev.Fence()
-		// Past the fence the retirements are durable; drop the dead records
-		// so the simulated DIMM does not accumulate one per overwrite.
-		for _, id := range dead {
-			st.dev.Delete(id)
-		}
-	}
 	st.seq.Add(1)
 	st.commits.Add(1)
 	return nil
+}
+
+// persist makes the current write transaction durable, failure-atomically:
+// payload records and retirement marks go to media tagged with a fresh
+// commit serial, and the transaction commits on media exactly when the
+// reserved commit record carrying that serial is written back. Recovery
+// honors records and marks only up to the highest durable commit serial, so
+// a crash anywhere in this window recovers all of the transaction or none.
+// A media error (device crashed under us, or an injected fault) undoes the
+// transaction's media effects and aborts it — POneFile never acknowledges a
+// commit it could not persist.
+func (st *STM) persist() error {
+	// Dirty lines without a staged payload pay the simulated redo-log cost
+	// only (transient bookkeeping records, dropped immediately).
+	for i := len(st.staged); i < st.dirty; i++ {
+		id, werr := st.dev.Write(0, nil, 0)
+		if werr != nil {
+			return werr
+		}
+		st.dev.WriteBack(id)
+		st.dev.Delete(id)
+	}
+	if len(st.staged) == 0 {
+		if st.dirty > 0 {
+			st.dev.Fence()
+		}
+		return nil
+	}
+	st.collapseStaged()
+	serial := st.serial + 1
+	claim := st.seq.Load()
+	if err := cpPreLog.Hit(); err != nil {
+		return err
+	}
+	ids := make([]uint64, len(st.staged))
+	var retired []uint64
+	fail := func(err error) error {
+		// Undo this serial's media effects so the transaction aborts
+		// cleanly: its payload records deleted, its retire marks lifted.
+		for _, id := range ids {
+			if id != 0 {
+				st.dev.Delete(id)
+			}
+		}
+		for _, id := range retired {
+			st.dev.UnRetire(id, claim)
+		}
+		return err
+	}
+	// (1) Payload records, tagged with the commit serial: written and
+	// written back, but invisible to recovery until the commit record
+	// carrying the same serial is durable.
+	for i, p := range st.staged {
+		if p.val == nil {
+			continue
+		}
+		id, werr := st.dev.Write(p.key, p.val, serial)
+		if werr != nil {
+			return fail(werr)
+		}
+		st.dev.WriteBack(id)
+		ids[i] = id
+		if err := cpPayload.Hit(); err != nil {
+			return fail(err)
+		}
+	}
+	// (2) Retire every superseded or removed record, marked with the same
+	// serial. The marks reach durability before the commit record, but
+	// recovery honors a mark only when its serial is at or below the
+	// durable commit cut — a crash here leaves the old version live, never
+	// a torn half-transaction.
+	for _, p := range st.staged {
+		old, ok := st.keyIDs[persistKey{p.sid, p.key}]
+		if !ok {
+			continue
+		}
+		if rerr := st.dev.Retire(old, serial, claim); rerr != nil {
+			return fail(rerr)
+		}
+		st.dev.WriteBack(old)
+		retired = append(retired, old)
+		if err := cpRetire.Hit(); err != nil {
+			return fail(err)
+		}
+	}
+	st.dev.Fence()
+	if err := cpPreMark.Hit(); err != nil {
+		return fail(err)
+	}
+	// (3) The commit record. The transaction is committed on media exactly
+	// when this record's write-back lands.
+	mid, werr := st.dev.Write(CommitKey, nil, serial)
+	if werr != nil {
+		return fail(werr)
+	}
+	if err := cpMarkVolatile.Hit(); err != nil {
+		st.dev.Delete(mid)
+		return fail(err)
+	}
+	st.dev.WriteBack(mid)
+	st.dev.Fence()
+	// ---- commit point: durable from here on; nothing below may fail. ----
+	cpPostMark.Hit() // injected errors are ignored past the commit point
+	for i, p := range st.staged {
+		pk := persistKey{p.sid, p.key}
+		if p.val == nil {
+			delete(st.keyIDs, pk)
+		} else {
+			st.keyIDs[pk] = ids[i]
+		}
+	}
+	st.serial = serial
+	cpGC.Hit()
+	// (4) GC: the retired records are durably dead and the previous commit
+	// record is superseded (recovery takes the highest serial), so drop
+	// both rather than accumulate one record per overwrite. A crash in
+	// here just leaves them for Reanchor's recovery scrub.
+	for _, id := range retired {
+		st.dev.Delete(id)
+	}
+	if st.lastCommit != 0 {
+		st.dev.Delete(st.lastCommit)
+	}
+	st.lastCommit = mid
+	return nil
+}
+
+// collapseStaged rewrites st.staged so each (sid, key) appears exactly once
+// with its final value — a put-then-remove inside one transaction must
+// persist nothing, and keyIDs is only consulted/updated per final state.
+// Quadratic in the per-transaction staged count, which is small.
+func (st *STM) collapseStaged() {
+	if len(st.staged) < 2 {
+		return
+	}
+	out := st.staged[:0]
+outer:
+	for i, p := range st.staged {
+		for _, q := range st.staged[i+1:] {
+			if q.sid == p.sid && q.key == p.key {
+				continue outer // a later entry supersedes this one
+			}
+		}
+		out = append(out, p)
+	}
+	st.staged = out
 }
 
 // StagePersist stages one payload update of the current write transaction:
@@ -192,6 +323,9 @@ func (st *STM) WriteTx(fn func() error) error {
 func (st *STM) StagePersist(sid, key uint64, val []byte) {
 	if st.dev == nil {
 		return
+	}
+	if key == CommitKey {
+		panic("onefile: payload key collides with the reserved commit-record key")
 	}
 	st.staged = append(st.staged, stagedKV{sid: sid, key: key, val: val})
 }
@@ -212,16 +346,26 @@ func (st *STM) Stats() (commits, aborts uint64) {
 func (st *STM) Device() *pnvm.Device { return st.dev }
 
 // LiveKV reduces a post-crash device dump (pnvm.Device.Recover output) to
-// the surviving key → payload bindings: records durably retired before the
-// crash are dropped, and where an update's old and new records both
-// survived (crash between the two persistence fences), the newer allocation
-// wins. Device records carry only the raw key, so distinct structures that
-// persisted the same key recover merged (newest wins) — the same modeling
-// caveat as the montage layer, whose demos tag key spaces per structure.
+// the surviving key → payload bindings under the redo-log commit rule. The
+// durable commit cut is the highest serial carried by a durable commit
+// record; a transaction is recovered exactly when its serial is at or below
+// the cut. Payload records beyond the cut are torn halves of uncommitted
+// transactions and are dropped; retirement marks beyond the cut were placed
+// by transactions that never committed and are ignored (the marked record
+// stays live); records durably retired at or below the cut are dropped.
+// Where a committed update's old and new records both survived (crash
+// before GC), the newer allocation wins. Device records carry only the raw
+// key, so distinct structures that persisted the same key recover merged
+// (newest wins) — the same modeling caveat as the montage layer, whose
+// demos tag key spaces per structure.
 func LiveKV(recs []pnvm.Record) map[uint64][]byte {
+	cut := commitCut(recs)
 	best := make(map[uint64]pnvm.Record, len(recs))
 	for _, r := range recs {
-		if r.Retire != 0 {
+		if r.Key == CommitKey || r.Epoch > cut {
+			continue
+		}
+		if r.Retire != 0 && r.Retire <= cut {
 			continue
 		}
 		if b, ok := best[r.Key]; !ok || r.ID > b.ID {
@@ -233,4 +377,67 @@ func LiveKV(recs []pnvm.Record) map[uint64][]byte {
 		out[k] = r.Val
 	}
 	return out
+}
+
+// commitCut returns the durable commit cut of a device dump: the highest
+// commit serial whose commit record survived the crash. Zero when no
+// transaction ever committed.
+func commitCut(recs []pnvm.Record) uint64 {
+	cut := uint64(0)
+	for _, r := range recs {
+		if r.Key == CommitKey && r.Epoch > cut {
+			cut = r.Epoch
+		}
+	}
+	return cut
+}
+
+// Reanchor reattaches a fresh persistent STM to a recovered device: given
+// the same dump LiveKV reduces, it scrubs torn payload records (serial
+// beyond the durable commit cut) off the media, lifts retirement marks left
+// by uncommitted transactions, completes the GC a crash may have
+// interrupted (durably-retired and shadowed records, stale commit records),
+// collapses the commit-record history to a single anchor, and resumes the
+// commit-serial allocator past the cut so post-recovery transactions always
+// supersede pre-crash ones. Call once, after pnvm recovery and before the
+// STM serves transactions.
+func (st *STM) Reanchor(recs []pnvm.Record) {
+	if st.dev == nil {
+		return
+	}
+	st.wlock.Lock()
+	defer st.wlock.Unlock()
+	cut := commitCut(recs)
+	// Newest committed live record per raw key — everything else under that
+	// key is shadow state (LiveKV's newest-wins merge applied to media, so
+	// a later removal of the key cannot resurrect an older record).
+	newest := make(map[uint64]uint64, len(recs))
+	for _, r := range recs {
+		if r.Key == CommitKey || r.Epoch > cut || (r.Retire != 0 && r.Retire <= cut) {
+			continue
+		}
+		if r.ID > newest[r.Key] {
+			newest[r.Key] = r.ID
+		}
+	}
+	for _, r := range recs {
+		switch {
+		case r.Key == CommitKey:
+			st.dev.Delete(r.ID) // collapsed into the single anchor below
+		case r.Epoch > cut:
+			st.dev.Delete(r.ID) // torn payload: its commit record never became durable
+		case r.Retire != 0 && r.Retire <= cut:
+			st.dev.Delete(r.ID) // durably retired; a crash interrupted GC
+		case r.ID != newest[r.Key]:
+			st.dev.Delete(r.ID) // shadowed by a newer committed record
+		case r.Retire > cut:
+			st.dev.ClearRetire(r.ID) // the retiring transaction tore; record stays live
+		}
+	}
+	st.serial = cut
+	if id, err := st.dev.Write(CommitKey, nil, cut); err == nil {
+		st.dev.WriteBack(id)
+		st.dev.Fence()
+		st.lastCommit = id
+	}
 }

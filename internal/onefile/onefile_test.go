@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"medley/internal/chaos"
 	"medley/internal/pnvm"
 )
 
@@ -232,5 +233,153 @@ func TestPersistSIDNamespacing(t *testing.T) {
 	got, ok := kv[5]
 	if !ok || len(got) != 1 || got[0] != 1 {
 		t.Fatalf("structure 1's record lost: kv[5] = %v, %v (another structure's ops retired it)", got, ok)
+	}
+}
+
+// TestCommitRecordGatesVisibility pins the redo-log commit point: a crash an
+// instant BEFORE the commit record is written back must recover none of the
+// transaction's payloads (even though they are all durably on media), and a
+// crash an instant AFTER must recover all of them. Visibility flips on
+// exactly one write-back.
+func TestCommitRecordGatesVisibility(t *testing.T) {
+	t.Cleanup(chaos.DisarmAll)
+	for _, tc := range []struct {
+		point string
+		want  bool
+	}{
+		{"ponefile.commit.pre-mark", false},      // payloads durable, record absent
+		{"ponefile.commit.mark-volatile", false}, // record written but not written back
+		{"ponefile.commit.post-mark", true},      // record durable: committed
+	} {
+		dev := pnvm.New(pnvm.Latencies{})
+		st := NewPersistent(dev)
+		sid := st.NewPersistSID()
+		if err := st.WriteTx(func() error { st.StagePersist(sid, 1, []byte{10}); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if err := chaos.Arm(tc.point, chaos.Fault{Kind: chaos.Crash, Action: func() { dev.Crash() }}); err != nil {
+			t.Fatal(err)
+		}
+		crashed := func() (crashed bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := chaos.AsCrash(r); !ok {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			st.WriteTx(func() error {
+				st.StagePersist(sid, 2, []byte{20})
+				st.StagePersist(sid, 3, []byte{30})
+				return nil
+			})
+			return false
+		}()
+		chaos.DisarmAll()
+		if !crashed {
+			t.Fatalf("%s: crash never fired", tc.point)
+		}
+		kv := LiveKV(dev.Recover())
+		if kv[1] == nil {
+			t.Fatalf("%s: committed base key lost", tc.point)
+		}
+		if got2, got3 := kv[2] != nil, kv[3] != nil; got2 != tc.want || got3 != tc.want {
+			t.Fatalf("%s: keys (2,3) visible = (%v,%v), want both %v", tc.point, got2, got3, tc.want)
+		}
+	}
+}
+
+// TestReanchorScrubsAndResumes: recovery's Reanchor must scrub everything the
+// commit cut excludes (torn payloads, durably-retired overwrites, the commit
+// history itself) down to a single anchor record, and the STM must resume
+// committing on the same device with the recovered state intact.
+func TestReanchorScrubsAndResumes(t *testing.T) {
+	t.Cleanup(chaos.DisarmAll)
+	dev := pnvm.New(pnvm.Latencies{})
+	st := NewPersistent(dev)
+	sid := st.NewPersistSID()
+	mustTx := func(fn func() error) {
+		t.Helper()
+		if err := st.WriteTx(fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustTx(func() error { st.StagePersist(sid, 1, []byte{1}); st.StagePersist(sid, 2, []byte{2}); return nil })
+	mustTx(func() error { st.StagePersist(sid, 2, []byte{22}); st.StagePersist(sid, 3, []byte{3}); return nil })
+	mustTx(func() error { st.StagePersist(sid, 1, nil); return nil })
+	// One more transaction dies just before its commit record: its payloads
+	// are durable torn garbage that Reanchor must remove from media.
+	if err := chaos.Arm("ponefile.commit.pre-mark", chaos.Fault{Kind: chaos.Crash, Action: func() { dev.Crash() }}); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := chaos.AsCrash(r); !ok {
+					panic(r)
+				}
+			}
+		}()
+		st.WriteTx(func() error { st.StagePersist(sid, 9, []byte{9}); return nil })
+		t.Fatal("pre-mark crash never fired")
+	}()
+	chaos.DisarmAll()
+
+	recs := dev.Recover()
+	want := map[uint64]byte{2: 22, 3: 3} // key 1 removed, key 9 torn
+	st2 := NewPersistent(dev)
+	st2.Reanchor(recs)
+
+	// The scrub is on media, not just in the recovered view: re-crash and
+	// re-dump. Exactly one commit record (the anchor) and exactly the live
+	// payloads survive.
+	dev.Crash()
+	after := dev.Recover()
+	marks, payloads := 0, 0
+	for _, r := range after {
+		if r.Key == CommitKey {
+			marks++
+		} else {
+			payloads++
+		}
+	}
+	if marks != 1 {
+		t.Fatalf("commit history not collapsed: %d commit records on media, want 1 anchor", marks)
+	}
+	if payloads != len(want) {
+		t.Fatalf("scrub left %d payload records, want %d", payloads, len(want))
+	}
+	kv := LiveKV(after)
+	for k, v := range want {
+		if got, ok := kv[k]; !ok || len(got) != 1 || got[0] != v {
+			t.Fatalf("key %d after reanchor: %v, %v want [%d]", k, got, ok, v)
+		}
+	}
+	if kv[1] != nil || kv[9] != nil {
+		t.Fatalf("removed/torn keys resurrected: kv[1]=%v kv[9]=%v", kv[1], kv[9])
+	}
+
+	// And the reanchored STM keeps committing: a fresh transaction on the
+	// recovered device is durable and GCs back down to one commit record.
+	st3 := NewPersistent(dev)
+	st3.Reanchor(after)
+	sid3 := st3.NewPersistSID()
+	if err := st3.WriteTx(func() error { st3.StagePersist(sid3, 4, []byte{4}); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	dev.Crash()
+	final := dev.Recover()
+	marks = 0
+	for _, r := range final {
+		if r.Key == CommitKey {
+			marks++
+		}
+	}
+	if marks != 1 {
+		t.Fatalf("continued commits leak commit records: %d on media", marks)
+	}
+	if kv := LiveKV(final); kv[4] == nil || kv[2] == nil {
+		t.Fatalf("post-reanchor commit not durable: kv[4]=%v kv[2]=%v", kv[4], kv[2])
 	}
 }

@@ -29,6 +29,18 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"medley/internal/chaos"
+)
+
+// Fault-injection points on the media path. pnvm.write fires inside every
+// record store (payloads, retire marks, frontier/commit markers alike), so a
+// crash armed there lands at whatever instant of a higher-level protocol
+// first touches media; pnvm.writeback fires inside every clwb. WriteBack has
+// no error channel, so only crash/delay faults are meaningful there.
+var (
+	cpWrite     = chaos.At("pnvm.write")
+	cpWriteBack = chaos.At("pnvm.writeback")
 )
 
 // Latencies configures the simulated device timing. Zero values mean "free"
@@ -120,6 +132,9 @@ var ErrCrashed = errors.New("pnvm: device crashed; call Recover")
 // Write stores a new record to media (not yet durable) and returns its id.
 // Models the NVM store cost.
 func (d *Device) Write(key uint64, val []byte, epoch uint64) (uint64, error) {
+	if err := cpWrite.Hit(); err != nil {
+		return 0, err
+	}
 	if d.crashed.Load() {
 		return 0, ErrCrashed
 	}
@@ -154,11 +169,13 @@ func (d *Device) Retire(id uint64, epoch uint64, claim uint64) error {
 }
 
 // UnRetire clears a retire mark, but only if it is still owned by claim
-// (an aborting transaction must not clear a successor's mark).
+// (an aborting transaction must not clear a successor's mark). Like Delete
+// it is a no-op on crashed media: an abort racing the crash must not scrub
+// a mark the crash already froze.
 func (d *Device) UnRetire(id uint64, claim uint64) {
 	s := d.shard(id)
 	s.mu.Lock()
-	if r, ok := s.records[id]; ok && s.retireClaim[id] == claim {
+	if r, ok := s.records[id]; ok && !d.crashed.Load() && s.retireClaim[id] == claim {
 		r.Retire = 0
 		delete(s.retireClaim, id)
 		delete(s.retireDurable, id)
@@ -202,6 +219,7 @@ func (d *Device) Delete(id uint64) {
 
 // WriteBack makes record id durable (clwb). Idempotent.
 func (d *Device) WriteBack(id uint64) {
+	cpWriteBack.Hit() // no error channel: crash/delay faults only
 	spin(d.lat.WriteBack)
 	s := d.shard(id)
 	s.mu.Lock()

@@ -1,0 +1,275 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"medley/internal/chaos"
+	"medley/internal/txengine"
+)
+
+// scriptServer is a minimal wire-speaking server that answers every request
+// with the next status from script (sticking on the last), shared across
+// reconnects — so a test can deterministically hand a client "RETRY, then
+// OK" without forcing a real server into overload.
+func scriptServer(t *testing.T, script []byte) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var next atomic.Int64
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				br := bufio.NewReader(c)
+				var buf []byte
+				for {
+					body, err := ReadFrame(br, buf)
+					if err != nil {
+						return
+					}
+					buf = body
+					req, err := DecodeRequest(body)
+					if err != nil {
+						return
+					}
+					i := int(next.Add(1)) - 1
+					if i >= len(script) {
+						i = len(script) - 1
+					}
+					resp := Response{ID: req.ID, Op: req.Op, Status: script[i]}
+					if _, err := c.Write(AppendResponse(nil, &resp)); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestClientRetriesShedWrites: StatusRetry means "not executed", so even a
+// write must be re-sent, transparently, with the retry tallied.
+func TestClientRetriesShedWrites(t *testing.T) {
+	addr := scriptServer(t, []byte{StatusRetry, StatusRetry, StatusOK})
+	cl := NewClient(addr, RetryPolicy{BaseBackoff: time.Millisecond})
+	defer cl.Close()
+	resp, err := cl.Put(1, 2)
+	if err != nil || !resp.OK() {
+		t.Fatalf("Put through shedding: %+v, %v", resp, err)
+	}
+	if st := cl.Stats(); st.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", st.Retries)
+	}
+}
+
+// TestClientRetriesDraining: StatusDraining is also not-executed; the client
+// reconnects (the address may point at a fresh instance) and retries.
+func TestClientRetriesDraining(t *testing.T) {
+	addr := scriptServer(t, []byte{StatusDraining, StatusOK})
+	cl := NewClient(addr, RetryPolicy{BaseBackoff: time.Millisecond})
+	defer cl.Close()
+	resp, err := cl.Txn([]TxnOp{{Kind: TxnWrite, Key: 3, Arg: 4}})
+	if err != nil || !resp.OK() {
+		t.Fatalf("Txn through draining: %+v, %v", resp, err)
+	}
+	if st := cl.Stats(); st.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", st.Retries)
+	}
+}
+
+// TestClientExhaustsAttempts: a server that never stops shedding must not
+// loop forever; the terminal error reports the shed count.
+func TestClientExhaustsAttempts(t *testing.T) {
+	addr := scriptServer(t, []byte{StatusRetry})
+	cl := NewClient(addr, RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond})
+	defer cl.Close()
+	if _, err := cl.Get(9); err == nil {
+		t.Fatal("Get against always-shedding server succeeded")
+	}
+	if st := cl.Stats(); st.Retries != 3 {
+		t.Fatalf("retries = %d, want 3", st.Retries)
+	}
+}
+
+// TestClientReconnectsOnReadFault: injected input faults drop the server
+// side of the connection before anything executes; idempotent reads retry
+// through the reconnects.
+func TestClientReconnectsOnReadFault(t *testing.T) {
+	_, addr := startServer(t, "medley-sharded", txengine.Config{Shards: 2}, Options{})
+	t.Cleanup(chaos.DisarmAll)
+	if err := chaos.Arm("server.frame.read", chaos.Fault{Kind: chaos.Error, Every: 5}); err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(addr, RetryPolicy{BaseBackoff: time.Millisecond})
+	defer cl.Close()
+	for i := 0; i < 30; i++ {
+		if resp, err := cl.Get(uint64(i)); err != nil || !resp.OK() {
+			t.Fatalf("Get %d: %+v, %v", i, resp, err)
+		}
+	}
+	if st := cl.Stats(); st.Reconnects == 0 {
+		t.Fatal("no reconnects despite injected read faults")
+	}
+	if chaos.Fired("server.frame.read") == 0 {
+		t.Fatal("read fault never fired")
+	}
+}
+
+// TestClientWriteUnknownOutcome: a connection torn after a write was sent
+// yields the typed ErrUnknownOutcome — and the ambiguity is real: here the
+// server committed the write and lost only the acknowledgment.
+func TestClientWriteUnknownOutcome(t *testing.T) {
+	_, addr := startServer(t, "medley-sharded", txengine.Config{Shards: 2}, Options{})
+	t.Cleanup(chaos.DisarmAll)
+	if err := chaos.Arm("server.frame.write", chaos.Fault{Kind: chaos.Torn, Times: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(addr, RetryPolicy{BaseBackoff: time.Millisecond})
+	defer cl.Close()
+	_, err := cl.Put(7, 70)
+	if !errors.Is(err, ErrUnknownOutcome) {
+		t.Fatalf("torn-ack Put error = %v, want ErrUnknownOutcome", err)
+	}
+	// The fault fired once; the reconnected client works again, and the
+	// "unknown" write in fact committed before its acknowledgment tore.
+	if resp, err := cl.Get(7); err != nil || !resp.Found || resp.Val != 70 {
+		t.Fatalf("Get(7) after unknown-outcome Put: %+v, %v", resp, err)
+	}
+	if st := cl.Stats(); st.Reconnects != 1 {
+		t.Fatalf("reconnects = %d, want 1", st.Reconnects)
+	}
+}
+
+// TestIdleTimeoutClosesConnection: a connected client that never sends a
+// frame is cut loose by Options.IdleTimeout instead of pinning its engine
+// session until drain.
+func TestIdleTimeoutClosesConnection(t *testing.T) {
+	s, addr := startServer(t, "medley-sharded", txengine.Config{Shards: 2}, Options{
+		IdleTimeout: 50 * time.Millisecond,
+	})
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == io.EOF {
+		// server closed us — expected
+	} else if err == nil {
+		t.Fatal("server sent bytes to an idle connection")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Counters().IdleClosed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("IdleClosed counter never incremented")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTornFrameLoadZeroUnaccounted is the serving-tier acceptance audit:
+// a fleet of retrying clients drives unique-key Puts into a server that
+// tears a response frame every several writes (forcing reconnects and
+// unknown outcomes), and afterwards every acknowledged commit must be
+// present in the hosted map and every present key must be accounted for by
+// an acknowledged or unknown-outcome Put — zero unaccounted acknowledged
+// commits, zero phantom writes.
+func TestTornFrameLoadZeroUnaccounted(t *testing.T) {
+	s, addr := startServer(t, "medley-sharded", txengine.Config{Shards: 2}, Options{})
+	t.Cleanup(chaos.DisarmAll)
+	if err := chaos.Arm("server.frame.write", chaos.Fault{Kind: chaos.Torn, Every: 37}); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, puts = 8, 250
+	type tally struct {
+		acked, unknown map[uint64]uint64
+		reconnects     uint64
+	}
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := NewClient(addr, RetryPolicy{MaxAttempts: 12, BaseBackoff: time.Millisecond})
+			defer cl.Close()
+			acked, unknown := map[uint64]uint64{}, map[uint64]uint64{}
+			for i := 0; i < puts; i++ {
+				key := uint64(w*puts + i + 1)
+				val := key*3 + 1
+				resp, err := cl.Put(key, val)
+				switch {
+				case err == nil && resp.OK():
+					acked[key] = val
+				case errors.Is(err, ErrUnknownOutcome):
+					unknown[key] = val
+				default:
+					t.Errorf("worker %d put %d: %+v, %v", w, key, resp, err)
+				}
+			}
+			tallies[w] = tally{acked: acked, unknown: unknown, reconnects: cl.Stats().Reconnects}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if chaos.Fired("server.frame.write") == 0 {
+		t.Fatal("torn-write fault never fired")
+	}
+	var reconnects, unknowns int
+	for _, ta := range tallies {
+		reconnects += int(ta.reconnects)
+		unknowns += len(ta.unknown)
+	}
+	if reconnects == 0 {
+		t.Fatal("no client ever reconnected")
+	}
+	chaos.DisarmAll()
+
+	// Audit through the hosted map in-process.
+	tx := s.Engine().NewWorker(-1)
+	m := s.Map()
+	unaccounted, lost := 0, 0
+	for w := 0; w < workers; w++ {
+		for i := 0; i < puts; i++ {
+			key := uint64(w*puts + i + 1)
+			v, found := m.Get(tx, key)
+			wantVal := key*3 + 1
+			if av, ok := tallies[w].acked[key]; ok {
+				if !found || v != av {
+					lost++
+					t.Errorf("acked commit lost: key %d (found=%v val=%d want=%d)", key, found, v, av)
+				}
+				continue
+			}
+			if _, ok := tallies[w].unknown[key]; ok {
+				if found && v != wantVal {
+					t.Errorf("unknown-outcome key %d holds foreign value %d", key, v)
+				}
+				continue // either fate is legal for unknown outcomes
+			}
+			if found {
+				unaccounted++
+				t.Errorf("unaccounted commit: key %d = %d acknowledged to nobody", key, v)
+			}
+		}
+	}
+	t.Logf("torn-frame load: %d workers × %d puts, %d reconnects, %d unknown outcomes, %d lost acks, %d unaccounted",
+		workers, puts, reconnects, unknowns, lost, unaccounted)
+}

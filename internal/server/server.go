@@ -10,7 +10,19 @@ import (
 	"sync/atomic"
 	"time"
 
+	"medley/internal/chaos"
 	"medley/internal/txengine"
+)
+
+// Fault-injection points on the wire path. server.frame.read fires before
+// each frame read (error faults drop the connection as a failed read would);
+// server.frame.write fires at each response write — armed with a torn fault
+// it pushes a strict prefix of the encoded frames onto the wire and kills
+// the connection mid-frame, which is how the client retry tests manufacture
+// torn frames and forced reconnects.
+var (
+	cpFrameRead  = chaos.At("server.frame.read")
+	cpFrameWrite = chaos.At("server.frame.write")
 )
 
 // Options tunes a Server. The zero value is serviceable: coalescing on,
@@ -59,6 +71,17 @@ type Options struct {
 	// connections into one pinned snapshot cut per wakeup; fewer stripes
 	// combine more aggressively, more stripes admit more read parallelism.
 	ReadCombiners int
+	// IdleTimeout closes a connection whose next frame does not arrive
+	// within it (0: no idle limit), so a hung or vanished client cannot pin
+	// its engine session and reader/processor goroutines forever. The
+	// deadline is re-armed before each frame read and suspended once drain
+	// begins — drain's own absolute deadline (DrainGrace) takes over.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write/flush (0: no limit): a client
+	// that stops reading while the server still owes it responses is cut
+	// off instead of blocking the processor on TCP backpressure forever.
+	// Suspended during drain, like IdleTimeout.
+	WriteTimeout time.Duration
 }
 
 // Option defaults.
@@ -130,6 +153,7 @@ type Counters struct {
 	SnapServed uint64 // requests answered from the snapshot read lane
 	Combined   uint64 // lane requests that shared their pinned cut with another connection
 	OCCServed  uint64 // requests answered StatusOK through the OCC path
+	IdleClosed uint64 // connections closed by the idle-timeout read deadline
 }
 
 // Server serves the wire protocol over one hosted transactional map on one
@@ -157,7 +181,7 @@ type Server struct {
 	nextTid atomic.Int64
 
 	cConns, cRequests, cShed, cDrained, cBatches, cBatchedOps atomic.Uint64
-	cSnapServed, cCombined, cOCCServed                        atomic.Uint64
+	cSnapServed, cCombined, cOCCServed, cIdleClosed           atomic.Uint64
 }
 
 // New builds a server over eng, creating the hosted map from opts.MapSpec.
@@ -209,6 +233,7 @@ func (s *Server) Counters() Counters {
 		SnapServed: s.cSnapServed.Load(),
 		Combined:   s.cCombined.Load(),
 		OCCServed:  s.cOCCServed.Load(),
+		IdleClosed: s.cIdleClosed.Load(),
 	}
 }
 
@@ -324,14 +349,29 @@ func (s *Server) handle(c net.Conn) {
 // readLoop decodes frames into the connection's queue. Any read or decode
 // error ends the connection's input (the processor still answers everything
 // already queued); a full queue blocks here, which backpressures the client
-// through TCP flow control.
+// through TCP flow control. With Options.IdleTimeout set, the read deadline
+// is re-armed per frame so an idle connection is closed rather than pinned;
+// once drain begins the re-arming stops and Drain's absolute deadline rules
+// (a reset racing the drain flag extends that one connection's bound by at
+// most the idle timeout).
 func (s *Server) readLoop(c net.Conn, queue chan<- pendReq) {
 	defer close(queue)
 	br := bufio.NewReaderSize(c, 64<<10)
+	idle := s.opts.IdleTimeout
 	var buf []byte
 	for {
+		if idle > 0 && !s.draining.Load() {
+			c.SetReadDeadline(time.Now().Add(idle))
+		}
+		if cpFrameRead.Hit() != nil {
+			return // injected input fault: the connection drops as on a failed read
+		}
 		body, err := ReadFrame(br, buf)
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && !s.draining.Load() {
+				s.cIdleClosed.Add(1)
+			}
 			return
 		}
 		buf = body
@@ -411,7 +451,7 @@ func (s *Server) procLoop(c net.Conn, queue <-chan pendReq) {
 		} else {
 			// Nothing collected: flush buffered responses before blocking.
 			if bw.Buffered() > 0 {
-				if bw.Flush() != nil {
+				if s.flushConn(c, bw) != nil {
 					s.discard(queue)
 					return
 				}
@@ -445,17 +485,54 @@ func (s *Server) procLoop(c net.Conn, queue <-chan pendReq) {
 		}
 		p.exec(p.batch)
 		if len(p.wbuf) > 0 {
-			if _, err := bw.Write(p.wbuf); err != nil {
+			if !s.writeFrames(c, bw, p.wbuf) {
 				s.discard(queue)
 				return
 			}
 			p.wbuf = p.wbuf[:0]
 		}
 		if closed {
-			bw.Flush()
+			s.flushConn(c, bw)
 			return
 		}
 	}
+}
+
+// writeFrames pushes one exec round's encoded responses toward the wire,
+// honoring the write deadline and the frame-write fault point. A false
+// return means the connection must die: a real write error, an injected
+// error, or an injected torn write — for the latter a strict prefix of the
+// frame bytes is flushed onto the wire first, so the client sees a frame
+// truncated mid-body, exactly what a connection dying mid-send produces.
+func (s *Server) writeFrames(c net.Conn, bw *bufio.Writer, buf []byte) bool {
+	if n, torn := cpFrameWrite.Torn(len(buf)); torn {
+		bw.Write(buf[:n])
+		bw.Flush()
+		// Close now, not via handle's deferred Close: the caller's discard
+		// waits on the readLoop, which would otherwise keep waiting on a
+		// healthy socket whose client is itself waiting for the rest of
+		// this frame.
+		c.Close()
+		return false
+	}
+	if cpFrameWrite.Hit() != nil {
+		c.Close()
+		return false
+	}
+	if wt := s.opts.WriteTimeout; wt > 0 && !s.draining.Load() {
+		c.SetWriteDeadline(time.Now().Add(wt))
+	}
+	_, err := bw.Write(buf)
+	return err == nil
+}
+
+// flushConn flushes buffered responses under the write deadline (suspended
+// during drain, whose absolute deadline already bounds the connection).
+func (s *Server) flushConn(c net.Conn, bw *bufio.Writer) error {
+	if wt := s.opts.WriteTimeout; wt > 0 && !s.draining.Load() {
+		c.SetWriteDeadline(time.Now().Add(wt))
+	}
+	return bw.Flush()
 }
 
 // discard drains a connection's queue after its writer died, so the reader

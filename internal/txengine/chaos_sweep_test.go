@@ -1,0 +1,330 @@
+package txengine
+
+import (
+	"fmt"
+	"testing"
+
+	"medley/internal/chaos"
+	"medley/internal/pnvm"
+)
+
+// The crash-point sweep: for every registered fault point on an engine's
+// persistence path, arm a device-fleet crash there (at several hit offsets,
+// so the fault lands mid-payload and mid-retire, not just on first touch),
+// run transactions until the crash fires, recover from the surviving media,
+// and audit failure atomicity. This is the systematic version of the
+// conformance suite's single coarse crash: instead of one failure between
+// flushes, a failure at every reachable instant inside them.
+
+// ponefilePoints spans POneFile's WriteTx persistence window in protocol
+// order, plus the media-level points that fire inside it.
+var ponefilePoints = []string{
+	"ponefile.commit.pre-log",
+	"ponefile.commit.payload",
+	"ponefile.commit.retire",
+	"ponefile.commit.pre-mark",
+	"ponefile.commit.mark-volatile",
+	"ponefile.commit.post-mark",
+	"ponefile.commit.gc",
+	"pnvm.write",
+	"pnvm.writeback",
+}
+
+// montagePoints spans the txMontage flush/advance path, plus the media-level
+// points that fire during transactions themselves.
+var montagePoints = []string{
+	"txmontage.flush.batch",
+	"txmontage.flush.pre-marker",
+	"txmontage.flush.marker-volatile",
+	"txmontage.advance.pre-flush",
+	"txmontage.advance.mid-shard",
+	"pnvm.write",
+	"pnvm.writeback",
+}
+
+// requireRegistered pins the sweep's point lists against the live registry,
+// so a renamed point fails loudly instead of silently never firing.
+func requireRegistered(t *testing.T, names []string) {
+	t.Helper()
+	reg := map[string]bool{}
+	for _, n := range chaos.Names() {
+		reg[n] = true
+	}
+	for _, n := range names {
+		if !reg[n] {
+			t.Fatalf("chaos point %q is not registered (catalog: %v)", n, chaos.Names())
+		}
+	}
+}
+
+// chaosCrashed runs fn, converting a chaos crash panic — the modeled process
+// death — into a true return. Any other panic propagates.
+func chaosCrashed(fn func()) (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := chaos.AsCrash(r); !ok {
+				panic(r)
+			}
+			crashed = true
+		}
+	}()
+	fn()
+	return false
+}
+
+// TestChaosCrashPointSweepPOneFile is the acceptance sweep for the redo-log
+// commit record: a crash armed at ANY registered point inside POneFile's
+// WriteTx persistence window must recover with no torn transaction visible.
+// Each transaction writes two fresh stamp keys and moves one unit between
+// two accounts; after crash + recovery, every attempted transaction must be
+// all-or-nothing (stamp pair both-or-neither), every transaction that
+// returned before the crash must be fully present (eager persistence), and
+// the account total must be conserved.
+func TestChaosCrashPointSweepPOneFile(t *testing.T) {
+	requireRegistered(t, ponefilePoints)
+	for _, point := range ponefilePoints {
+		for _, after := range []int{0, 1, 2} {
+			t.Run(fmt.Sprintf("%s/after=%d", point, after), func(t *testing.T) {
+				sweepPOneFile(t, point, after)
+			})
+		}
+	}
+}
+
+func sweepPOneFile(t *testing.T, point string, after int) {
+	const (
+		accounts = uint64(8)
+		opening  = uint64(1000)
+		stampA   = uint64(10_000)
+		stampB   = uint64(20_000)
+		maxTx    = 40
+	)
+	t.Cleanup(chaos.DisarmAll)
+	b, _ := Lookup("ponefile")
+	eng, err := b.New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := eng.(Persister)
+	devs := p.Devices()
+	spec := testSpec(b.Caps)
+	m, err := eng.NewUintMap(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := eng.NewWorker(0)
+	if err := tx.Run(func() error {
+		for a := uint64(0); a < accounts; a++ {
+			m.Put(tx, a, opening)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := chaos.Arm(point, chaos.Fault{
+		Kind:  chaos.Crash,
+		After: after,
+		Action: func() {
+			for _, d := range devs {
+				d.Crash()
+			}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Transfer transactions until the armed crash lands. completed counts
+	// transactions whose Run returned: POneFile is eager, so all of them
+	// must survive in full. The one in flight at the crash may land either
+	// way — but never torn.
+	completed, attempted := 0, 0
+	crashed := false
+	for i := 1; i <= maxTx && !crashed; i++ {
+		i := uint64(i)
+		attempted = int(i)
+		crashed = chaosCrashed(func() {
+			from := (i * 7) % accounts
+			to := (from + 3) % accounts
+			if err := tx.Run(func() error {
+				fv, _ := m.Get(tx, from)
+				tv, _ := m.Get(tx, to)
+				m.Put(tx, from, fv-1)
+				m.Put(tx, to, tv+1)
+				m.Put(tx, stampA+i, i)
+				m.Put(tx, stampB+i, i)
+				return nil
+			}); err != nil {
+				t.Fatalf("transfer %d: %v", i, err)
+			}
+		})
+		if !crashed {
+			completed = int(i)
+		}
+	}
+	if !crashed {
+		t.Fatalf("point %s (after=%d) never fired in %d transactions", point, after, maxTx)
+	}
+	chaos.DisarmAll()
+
+	dumps := pnvm.DumpAll(devs)
+	eng2, err := b.New(Config{Devices: devs})
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	defer eng2.Close()
+	rm, err := eng2.(Persister).RecoverUintMap(dumps, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2 := eng2.NewWorker(0)
+
+	// Conservation: transfers move value, never create or destroy it.
+	var sum uint64
+	for a := uint64(0); a < accounts; a++ {
+		v, ok := rm.Get(tx2, a)
+		if !ok {
+			t.Fatalf("account %d missing after recovery", a)
+		}
+		sum += v
+	}
+	if want := accounts * opening; sum != want {
+		t.Fatalf("conservation broken: accounts sum to %d, want %d", sum, want)
+	}
+	// Atomicity, per attempted transaction: its stamp pair recovers
+	// both-or-neither, and every transaction acknowledged before the crash
+	// recovers in full (eager persistence loses nothing acknowledged).
+	for i := uint64(1); i <= uint64(attempted); i++ {
+		v1, ok1 := rm.Get(tx2, stampA+i)
+		v2, ok2 := rm.Get(tx2, stampB+i)
+		if ok1 != ok2 {
+			t.Fatalf("tx %d recovered torn at %s: stamps (%v,%v)", i, point, ok1, ok2)
+		}
+		if ok1 && (v1 != i || v2 != i) {
+			t.Fatalf("tx %d recovered wrong stamps: %d,%d", i, v1, v2)
+		}
+		if int(i) <= completed && !ok1 {
+			t.Fatalf("acknowledged tx %d lost after crash at %s", i, point)
+		}
+	}
+	t.Logf("%s after=%d: crashed in tx %d (%d acknowledged), recovery atomic", point, after, attempted, completed)
+}
+
+// TestChaosCrashPointSweepShardedMontage sweeps the txMontage flush/advance
+// path at shards 1, 2, and 8: base state is committed and synced, more pair
+// transactions run, then a crash is armed and fired either mid-transaction
+// (media points) or mid-sync (flush/advance points). Recovery must keep the
+// synced state intact and every later pair all-or-nothing — including the
+// torn-domain cases where only some shards carry the newest frontier marker.
+func TestChaosCrashPointSweepShardedMontage(t *testing.T) {
+	requireRegistered(t, montagePoints)
+	for _, shards := range []int{1, 2, 8} {
+		for _, point := range montagePoints {
+			t.Run(fmt.Sprintf("shards=%d/%s", shards, point), func(t *testing.T) {
+				sweepMontage(t, shards, point)
+			})
+		}
+	}
+}
+
+func sweepMontage(t *testing.T, shards int, point string) {
+	const n = uint64(16)
+	t.Cleanup(chaos.DisarmAll)
+	b, _ := Lookup("txmontage-sharded")
+	eng, err := b.New(Config{Shards: shards}) // EpochLen 0: sync by hand, no background advancer
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := eng.(Persister)
+	devs := p.Devices()
+	spec := testSpec(b.Caps)
+	m, err := eng.NewUintMap(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := eng.NewWorker(0)
+
+	// Phase 1: committed pairs, made durable by an un-instrumented sync.
+	for i := uint64(0); i < n; i++ {
+		i := i
+		if err := tx.Run(func() error {
+			m.Put(tx, i, 100+i)
+			m.Put(tx, i+n, 100+i)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Sync()
+
+	if err := chaos.Arm(point, chaos.Fault{
+		Kind: chaos.Crash,
+		Action: func() {
+			for _, d := range devs {
+				d.Crash()
+			}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: more pairs, then a sync — the media points fire inside the
+	// transactions, the flush/advance points inside the sync.
+	crashed := false
+	for i := uint64(0); i < n && !crashed; i++ {
+		i := i
+		crashed = chaosCrashed(func() {
+			if err := tx.Run(func() error {
+				m.Put(tx, 2*n+i, 500+i)
+				m.Put(tx, 3*n+i, 500+i)
+				return nil
+			}); err != nil {
+				t.Fatalf("phase-2 tx %d: %v", i, err)
+			}
+		})
+	}
+	if !crashed {
+		crashed = chaosCrashed(func() { p.Sync() })
+	}
+	if !crashed {
+		t.Fatalf("point %s never fired at shards=%d (transactions and sync both survived)", point, shards)
+	}
+	chaos.DisarmAll()
+
+	dumps := pnvm.DumpAll(devs)
+	eng2, err := b.New(Config{Shards: shards, Devices: devs})
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	defer eng2.Close()
+	rm, err := eng2.(Persister).RecoverUintMap(dumps, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2 := eng2.NewWorker(0)
+
+	// Synced committed state must be fully visible.
+	for i := uint64(0); i < n; i++ {
+		for _, k := range []uint64{i, i + n} {
+			if v, ok := rm.Get(tx2, k); !ok || v != 100+i {
+				t.Fatalf("synced key %d: got %d,%v want %d,true", k, v, ok, 100+i)
+			}
+		}
+	}
+	// Post-sync pairs: all-or-nothing, correct values when present.
+	recovered := 0
+	for i := uint64(0); i < n; i++ {
+		v1, ok1 := rm.Get(tx2, 2*n+i)
+		v2, ok2 := rm.Get(tx2, 3*n+i)
+		if ok1 != ok2 {
+			t.Fatalf("post-sync pair %d recovered torn at %s: (%v,%v)", i, point, ok1, ok2)
+		}
+		if ok1 {
+			recovered++
+			if v1 != 500+i || v2 != 500+i {
+				t.Fatalf("post-sync pair %d recovered wrong values: %d,%d", i, v1, v2)
+			}
+		}
+	}
+	t.Logf("shards=%d %s: crash fired, %d/%d post-sync pairs recovered, no tears", shards, point, recovered, n)
+}

@@ -58,8 +58,13 @@ func (e *onefileEngine) Devices() []*pnvm.Device {
 func (e *onefileEngine) Sync() {}
 
 // RecoverUintMap implements Persister: rebuilds a map from the surviving
-// payload records of this engine's one device's post-crash dump (POneFile
-// persists eagerly, no epochs — the dump's live kv state is the state).
+// payload records of this engine's one device's post-crash dump. The dump
+// is reduced under the redo-log commit rule (onefile.LiveKV): only
+// transactions whose commit record survived are replayed, so a crash inside
+// a WriteTx persistence window recovers all of that transaction or none.
+// Reanchor scrubs the torn remainder off the media and resumes the commit
+// serial before the rebuilt state is re-put (in one transaction, under one
+// fresh commit record).
 func (e *onefileEngine) RecoverUintMap(dumps [][]pnvm.Record, spec MapSpec) (Map[uint64], error) {
 	if e.st.Device() == nil {
 		return nil, fmt.Errorf("txengine: %s is transient: %w", e.name, ErrUnsupported)
@@ -68,14 +73,22 @@ func (e *onefileEngine) RecoverUintMap(dumps [][]pnvm.Record, spec MapSpec) (Map
 		// A foreign device's dump would merge unrelated state silently.
 		return nil, fmt.Errorf("txengine: %s recovery wants exactly one dump for its one device: got %d", e.name, len(dumps))
 	}
+	e.st.Reanchor(dumps[0])
 	m, err := e.NewUintMap(spec)
 	if err != nil {
 		return nil, err
 	}
 	u64 := montage.Uint64Codec()
 	tx := e.NewWorker(-1)
-	for k, vb := range onefile.LiveKV(dumps[0]) {
-		m.Put(tx, k, u64.Dec(vb))
+	kv := onefile.LiveKV(dumps[0])
+	err = tx.Run(func() error {
+		for k, vb := range kv {
+			m.Put(tx, k, u64.Dec(vb))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return m, nil
 }
